@@ -1,0 +1,371 @@
+// Benchmarks: one per paper table/figure (regenerating the corresponding
+// experiment at small scale) plus micro-benchmarks of the hot paths.
+//
+// The experiment benches share one lazily built Lab so the expensive
+// artifacts (training dataset, per-base models, case-study measurements)
+// are constructed once, outside the timed sections.
+//
+// Reproduce the paper's artifacts directly with:
+//
+//	go test -bench=. -benchmem
+//	go run ./cmd/benchreport -scale medium -run all
+package sizeless_test
+
+import (
+	"io"
+	"sync"
+	"testing"
+	"time"
+
+	"sizeless/internal/core"
+	"sizeless/internal/dataset"
+	"sizeless/internal/experiments"
+	"sizeless/internal/harness"
+	"sizeless/internal/lambda"
+	"sizeless/internal/loadgen"
+	"sizeless/internal/monitoring"
+	"sizeless/internal/nn"
+	"sizeless/internal/optimizer"
+	"sizeless/internal/platform"
+	"sizeless/internal/runtime"
+	"sizeless/internal/services"
+	"sizeless/internal/stats"
+	"sizeless/internal/workload"
+	"sizeless/internal/xrand"
+)
+
+var (
+	benchLabOnce sync.Once
+	benchLab     *experiments.Lab
+)
+
+// lab returns the shared small-scale lab, pre-warming the dataset, the
+// base-256 and base-128 models, and the case-study measurements so that
+// individual benchmarks time only their own experiment.
+func lab(b *testing.B) *experiments.Lab {
+	b.Helper()
+	benchLabOnce.Do(func() {
+		benchLab = experiments.NewLab(experiments.SmallScale())
+		if _, err := benchLab.Dataset(); err != nil {
+			b.Fatal(err)
+		}
+		for _, base := range []platform.MemorySize{platform.Mem128, platform.Mem256} {
+			if _, err := benchLab.Model(base); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if _, err := benchLab.CaseStudies(); err != nil {
+			b.Fatal(err)
+		}
+	})
+	return benchLab
+}
+
+// runExperiment benches one experiment runner.
+func runExperiment(b *testing.B, run func(l *experiments.Lab) (interface{ Render() string }, error)) {
+	l := lab(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := run(l)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := io.WriteString(io.Discard, res.Render()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig1MotivatingExample(b *testing.B) {
+	runExperiment(b, func(l *experiments.Lab) (interface{ Render() string }, error) {
+		return experiments.MotivatingExample(l)
+	})
+}
+
+func BenchmarkFig3Stability(b *testing.B) {
+	runExperiment(b, func(l *experiments.Lab) (interface{ Render() string }, error) {
+		return experiments.StabilityAnalysis(l)
+	})
+}
+
+func BenchmarkFig4FeatureSelection(b *testing.B) {
+	runExperiment(b, func(l *experiments.Lab) (interface{ Render() string }, error) {
+		return experiments.FeatureSelection(l, platform.Mem256, 5, 5, 5)
+	})
+}
+
+func BenchmarkFig5PartialDependence(b *testing.B) {
+	runExperiment(b, func(l *experiments.Lab) (interface{ Render() string }, error) {
+		return experiments.PartialDependencePlots(l, 7)
+	})
+}
+
+func BenchmarkTable2GridSearch(b *testing.B) {
+	runExperiment(b, func(l *experiments.Lab) (interface{ Render() string }, error) {
+		return experiments.GridSearchTable(l, nil, 3)
+	})
+}
+
+func BenchmarkTable3CrossValidation(b *testing.B) {
+	runExperiment(b, func(l *experiments.Lab) (interface{ Render() string }, error) {
+		return experiments.CrossValidationTable(l, 3, 1)
+	})
+}
+
+func BenchmarkFig6CaseStudyPredictions(b *testing.B) {
+	runExperiment(b, func(l *experiments.Lab) (interface{ Render() string }, error) {
+		return experiments.CaseStudyPredictions(l, nil)
+	})
+}
+
+func BenchmarkTable4to7PredictionErrors(b *testing.B) {
+	runExperiment(b, func(l *experiments.Lab) (interface{ Render() string }, error) {
+		return experiments.PredictionErrors(l)
+	})
+}
+
+func BenchmarkFig7SelectionRanking(b *testing.B) {
+	runExperiment(b, func(l *experiments.Lab) (interface{ Render() string }, error) {
+		return experiments.SelectionRanking(l)
+	})
+}
+
+func BenchmarkTable8CostSavings(b *testing.B) {
+	runExperiment(b, func(l *experiments.Lab) (interface{ Render() string }, error) {
+		return experiments.SavingsSpeedup(l)
+	})
+}
+
+func BenchmarkBaselines(b *testing.B) {
+	runExperiment(b, func(l *experiments.Lab) (interface{ Render() string }, error) {
+		return experiments.BaselineComparison(l)
+	})
+}
+
+func BenchmarkAblationTargets(b *testing.B) {
+	runExperiment(b, func(l *experiments.Lab) (interface{ Render() string }, error) {
+		return experiments.AblationTargets(l, 3)
+	})
+}
+
+func BenchmarkAblationFeatures(b *testing.B) {
+	runExperiment(b, func(l *experiments.Lab) (interface{ Render() string }, error) {
+		return experiments.AblationFeatures(l, 3)
+	})
+}
+
+func BenchmarkAblationIncrements(b *testing.B) {
+	runExperiment(b, func(l *experiments.Lab) (interface{ Render() string }, error) {
+		return experiments.AblationIncrements(l)
+	})
+}
+
+// ---- Micro-benchmarks of the hot paths ----
+
+func benchSpec() *workload.Spec {
+	return &workload.Spec{
+		Name: "bench-fn",
+		Ops: []workload.Op{
+			workload.CPUOp{Label: "w", WorkMs: 25, Parallelism: 1, TransientAllocMB: 8},
+			workload.ServiceOp{Service: services.DynamoDB, Op: "Query", Calls: 2, RequestKB: 1, ResponseKB: 16},
+			workload.FileWriteOp{MB: 2},
+		},
+		BaseHeapMB: 30, CodeMB: 3, PayloadKB: 2, ResponseKB: 1, NoiseCoV: 0.1,
+	}
+}
+
+// BenchmarkRuntimeInvoke measures one simulated invocation (the inner loop
+// of every measurement campaign — the paper's full dataset runs 216 million
+// of these).
+func BenchmarkRuntimeInvoke(b *testing.B) {
+	env := runtime.NewEnv()
+	inst, err := runtime.NewInstance(env, benchSpec(), platform.Mem512, xrand.New(1).Derive("bench"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := inst.Invoke(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDeploymentRun measures a full deployment run: 600 arrivals
+// through the instance pool with monitoring.
+func BenchmarkDeploymentRun(b *testing.B) {
+	env := runtime.NewEnv()
+	sched, err := loadgen.Poisson(30, 20*time.Second, xrand.New(2).Derive("sched"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		acc := monitoring.NewAccumulator()
+		dep, err := lambda.NewDeployment(env, benchSpec(), platform.Mem512, acc, xrand.New(3).DeriveIndexed("dep", i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := dep.Run(sched); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkNNTrainingEpoch measures one training epoch of the paper-final
+// network shape on a 200-row dataset.
+func BenchmarkNNTrainingEpoch(b *testing.B) {
+	rng := xrand.New(4).Derive("nn")
+	const rows, feats, targets = 200, 11, 5
+	x := make([][]float64, rows)
+	y := make([][]float64, rows)
+	for i := range x {
+		x[i] = make([]float64, feats)
+		y[i] = make([]float64, targets)
+		for j := range x[i] {
+			x[i][j] = rng.NormFloat64()
+		}
+		for j := range y[i] {
+			y[i][j] = rng.Uniform(0.1, 2.5)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net, err := nn.New(nn.Config{
+			Inputs: feats, Outputs: targets, Hidden: []int{256, 256, 256, 256},
+			Optimizer: nn.Adam, Loss: nn.MAPE, Epochs: 1, Seed: int64(i),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := net.Train(x, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkModelPredict measures one online prediction (the per-function
+// cost of a provider-side recommender sweep).
+func BenchmarkModelPredict(b *testing.B) {
+	l := lab(b)
+	model, err := l.Model(platform.Mem256)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ds, err := l.Dataset()
+	if err != nil {
+		b.Fatal(err)
+	}
+	summary := ds.Rows[0].Summaries[platform.Mem256]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := model.Predict(summary); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMannWhitney measures the stability test on 2×1800 samples (one
+// minute of 30 rps).
+func BenchmarkMannWhitney(b *testing.B) {
+	rng := xrand.New(5).Derive("mw")
+	x := make([]float64, 1800)
+	y := make([]float64, 1800)
+	for i := range x {
+		x[i] = rng.LogNormal(10, 0.4)
+		y[i] = rng.LogNormal(10.5, 0.4)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := stats.MannWhitneyU(x, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOptimize measures one §3.5 optimization over the six sizes.
+func BenchmarkOptimize(b *testing.B) {
+	pricing := platform.DefaultPricing()
+	times := map[platform.MemorySize]float64{
+		128: 800, 256: 420, 512: 230, 1024: 140, 2048: 110, 3008: 105,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := optimizer.Optimize(times, pricing, 0.75); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHarnessMeasure measures one complete (function, size) experiment
+// at reduced duration.
+func BenchmarkHarnessMeasure(b *testing.B) {
+	opts := harness.Options{Rate: 20, Duration: 10 * time.Second, Seed: 6}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := harness.Measure(opts, benchSpec(), platform.Mem512, i); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDatasetCSVRoundTrip measures dataset persistence.
+func BenchmarkDatasetCSVRoundTrip(b *testing.B) {
+	l := lab(b)
+	ds, err := l.Dataset()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf writeCounter
+		if err := ds.WriteCSV(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// writeCounter is an io.Writer that only counts bytes.
+type writeCounter int64
+
+func (w *writeCounter) Write(p []byte) (int, error) {
+	*w += writeCounter(len(p))
+	return len(p), nil
+}
+
+// BenchmarkCoreTraining measures training the paper-final model (ensemble
+// of one for comparability) on the shared small dataset.
+func BenchmarkCoreTraining(b *testing.B) {
+	l := lab(b)
+	ds, err := l.Dataset()
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := core.DefaultModelConfig(platform.Mem256)
+	cfg.Hidden = []int{64, 64}
+	cfg.Epochs = 100
+	cfg.EnsembleSize = 1
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i + 1)
+		if _, err := core.Train(ds, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+var _ = dataset.New // keep the import for documentation cross-reference
+
+// BenchmarkTransferLearning measures the A5 extension experiment: adapt the
+// model to a platform change by fine-tuning on a small new dataset.
+func BenchmarkTransferLearning(b *testing.B) {
+	runExperiment(b, func(l *experiments.Lab) (interface{ Render() string }, error) {
+		return experiments.TransferLearning(l)
+	})
+}

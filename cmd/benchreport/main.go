@@ -1,0 +1,144 @@
+// Command benchreport regenerates every table and figure of the paper's
+// evaluation (plus the DESIGN.md ablations) and prints them in the paper's
+// row/series layout.
+//
+// Usage:
+//
+//	benchreport -scale small -run all
+//	benchreport -scale medium -run table3,fig7,table8
+//	benchreport -scale full -run fig1          # paper-scale, hours of CPU
+//
+// Experiment ids: fig1 fig3 fig4 fig5 table2 table3 fig6 table4-7 fig7
+// table8 baselines ablation-targets ablation-features ablation-increments
+// transfer.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"sizeless/internal/experiments"
+	"sizeless/internal/platform"
+)
+
+// renderable is what every experiment result provides.
+type renderable interface{ Render() string }
+
+// experimentRunner produces one report section.
+type experimentRunner struct {
+	id  string
+	run func(lab *experiments.Lab) (renderable, error)
+}
+
+func runners() []experimentRunner {
+	return []experimentRunner{
+		{"fig1", func(lab *experiments.Lab) (renderable, error) {
+			return experiments.MotivatingExample(lab)
+		}},
+		{"fig3", func(lab *experiments.Lab) (renderable, error) {
+			return experiments.StabilityAnalysis(lab)
+		}},
+		{"fig4", func(lab *experiments.Lab) (renderable, error) {
+			return experiments.FeatureSelection(lab, platform.Mem256, 8, 8, 8)
+		}},
+		{"fig5", func(lab *experiments.Lab) (renderable, error) {
+			return experiments.PartialDependencePlots(lab, 9)
+		}},
+		{"table2", func(lab *experiments.Lab) (renderable, error) {
+			return experiments.GridSearchTable(lab, nil, 3)
+		}},
+		{"table3", func(lab *experiments.Lab) (renderable, error) {
+			return experiments.CrossValidationTable(lab, 5, 1)
+		}},
+		{"fig6", func(lab *experiments.Lab) (renderable, error) {
+			return experiments.CaseStudyPredictions(lab, nil)
+		}},
+		{"table4-7", func(lab *experiments.Lab) (renderable, error) {
+			return experiments.PredictionErrors(lab)
+		}},
+		{"fig7", func(lab *experiments.Lab) (renderable, error) {
+			return experiments.SelectionRanking(lab)
+		}},
+		{"table8", func(lab *experiments.Lab) (renderable, error) {
+			return experiments.SavingsSpeedup(lab)
+		}},
+		{"baselines", func(lab *experiments.Lab) (renderable, error) {
+			return experiments.BaselineComparison(lab)
+		}},
+		{"ablation-targets", func(lab *experiments.Lab) (renderable, error) {
+			return experiments.AblationTargets(lab, 3)
+		}},
+		{"ablation-features", func(lab *experiments.Lab) (renderable, error) {
+			return experiments.AblationFeatures(lab, 3)
+		}},
+		{"ablation-increments", func(lab *experiments.Lab) (renderable, error) {
+			return experiments.AblationIncrements(lab)
+		}},
+		{"transfer", func(lab *experiments.Lab) (renderable, error) {
+			return experiments.TransferLearning(lab)
+		}},
+	}
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchreport:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("benchreport", flag.ContinueOnError)
+	scaleName := fs.String("scale", "small", "experiment scale: small, medium, or full")
+	runList := fs.String("run", "all", "comma-separated experiment ids, or 'all'")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	scale, err := experiments.ScaleByName(*scaleName)
+	if err != nil {
+		return err
+	}
+
+	wanted := map[string]bool{}
+	if *runList != "all" {
+		for _, id := range strings.Split(*runList, ",") {
+			wanted[strings.TrimSpace(id)] = true
+		}
+		for id := range wanted {
+			if !knownID(id) {
+				return fmt.Errorf("unknown experiment id %q", id)
+			}
+		}
+	}
+
+	lab := experiments.NewLab(scale)
+	fmt.Fprintf(out, "Sizeless reproduction report — scale %q, seed %d\n", scale.Name, scale.Seed)
+	fmt.Fprintf(out, "generated %s\n\n", time.Now().UTC().Format(time.RFC3339))
+
+	for _, r := range runners() {
+		if len(wanted) > 0 && !wanted[r.id] {
+			continue
+		}
+		start := time.Now()
+		res, err := r.run(lab)
+		if err != nil {
+			return fmt.Errorf("%s: %w", r.id, err)
+		}
+		fmt.Fprintf(out, "================ %s (%v) ================\n\n", r.id, time.Since(start).Round(time.Millisecond))
+		fmt.Fprintln(out, res.Render())
+	}
+	return nil
+}
+
+func knownID(id string) bool {
+	for _, r := range runners() {
+		if r.id == id {
+			return true
+		}
+	}
+	return false
+}

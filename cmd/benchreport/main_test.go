@@ -1,0 +1,45 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestKnownIDs(t *testing.T) {
+	for _, id := range []string{"fig1", "fig3", "fig4", "fig5", "table2", "table3",
+		"fig6", "table4-7", "fig7", "table8", "baselines",
+		"ablation-targets", "ablation-features", "ablation-increments", "transfer"} {
+		if !knownID(id) {
+			t.Errorf("experiment id %q not registered", id)
+		}
+	}
+	if knownID("fig99") {
+		t.Error("unknown id accepted")
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-scale", "gigantic"}, &out); err == nil {
+		t.Error("unknown scale should error")
+	}
+	if err := run([]string{"-run", "fig99"}, &out); err == nil {
+		t.Error("unknown experiment id should error")
+	}
+}
+
+func TestRunSingleExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a small measurement campaign")
+	}
+	var out strings.Builder
+	if err := run([]string{"-scale", "small", "-run", "fig1"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	report := out.String()
+	for _, want := range []string{"Sizeless reproduction report", "fig1", "InvertMatrix", "PrimeNumbers"} {
+		if !strings.Contains(report, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,18 @@
+package main
+
+import "testing"
+
+func TestRun(t *testing.T) {
+	if err := run([]string{"-n", "2", "-seed", "7"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-n", "1", "-template", "-mem", "512", "-scripts"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	if err := run([]string{"-n", "abc"}); err == nil {
+		t.Error("bad flag value should error")
+	}
+}

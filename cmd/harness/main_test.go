@@ -1,0 +1,40 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"sizeless/internal/dataset"
+)
+
+func TestRunWritesDataset(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "ds.csv")
+	err := run([]string{
+		"-functions", "5",
+		"-rate", "10",
+		"-duration", "3s",
+		"-out", out,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	ds, err := dataset.ReadCSV(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Rows) != 5 || len(ds.Sizes) != 6 {
+		t.Errorf("dataset shape %d×%d, want 5×6", len(ds.Rows), len(ds.Sizes))
+	}
+}
+
+func TestRunBadOutput(t *testing.T) {
+	if err := run([]string{"-functions", "1", "-duration", "1s", "-out", "/nonexistent-dir/x.csv"}); err == nil {
+		t.Error("unwritable output should error")
+	}
+}

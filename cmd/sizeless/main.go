@@ -1,0 +1,227 @@
+// Command sizeless is the end-user CLI for the Sizeless pipeline:
+//
+//	sizeless train -dataset dataset.csv -base 256 -out model.json
+//	sizeless evaluate -dataset dataset.csv -base 256
+//	sizeless recommend -model model.json -dataset dataset.csv -function synthetic-0007 -t 0.75
+//	sizeless demo
+//
+// "train" fits the multi-target regression model on a dataset produced by
+// cmd/harness. "evaluate" reports cross-validated model quality (the
+// Table 3 metrics). "recommend" predicts all memory sizes for one monitored
+// function and prints the §3.5 recommendation. "demo" runs the whole
+// pipeline end-to-end at a small scale.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"sizeless"
+	"sizeless/internal/core"
+	"sizeless/internal/dataset"
+	"sizeless/internal/monitoring"
+	"sizeless/internal/platform"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "sizeless:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: sizeless <train|evaluate|recommend|demo> [flags]")
+	}
+	switch args[0] {
+	case "train":
+		return cmdTrain(args[1:])
+	case "evaluate":
+		return cmdEvaluate(args[1:])
+	case "recommend":
+		return cmdRecommend(args[1:])
+	case "demo":
+		return cmdDemo(args[1:])
+	default:
+		return fmt.Errorf("unknown subcommand %q", args[0])
+	}
+}
+
+func loadDataset(path string) (*sizeless.Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return dataset.ReadCSV(f)
+}
+
+func parseBase(mb int) (sizeless.MemorySize, error) {
+	base := platform.MemorySize(mb)
+	if !base.Valid() {
+		return 0, fmt.Errorf("invalid base memory size %d", mb)
+	}
+	return base, nil
+}
+
+func cmdTrain(args []string) error {
+	fs := flag.NewFlagSet("train", flag.ContinueOnError)
+	dsPath := fs.String("dataset", "dataset.csv", "training dataset CSV (from cmd/harness)")
+	baseMB := fs.Int("base", 256, "monitored base memory size (MB)")
+	epochs := fs.Int("epochs", 200, "training epochs")
+	out := fs.String("out", "model.json", "output model path")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	base, err := parseBase(*baseMB)
+	if err != nil {
+		return err
+	}
+	ds, err := loadDataset(*dsPath)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	pred, err := sizeless.TrainPredictor(ds, sizeless.PredictorConfig{Base: base, Epochs: *epochs})
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := pred.Save(f); err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "trained on %d functions (base %v) in %v → %s\n",
+		len(ds.Rows), base, time.Since(start).Round(time.Millisecond), *out)
+	return nil
+}
+
+func cmdEvaluate(args []string) error {
+	fs := flag.NewFlagSet("evaluate", flag.ContinueOnError)
+	dsPath := fs.String("dataset", "dataset.csv", "dataset CSV")
+	baseMB := fs.Int("base", 256, "base memory size (MB)")
+	folds := fs.Int("folds", 5, "cross-validation folds")
+	iters := fs.Int("iterations", 1, "cross-validation iterations")
+	epochs := fs.Int("epochs", 200, "training epochs")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	base, err := parseBase(*baseMB)
+	if err != nil {
+		return err
+	}
+	ds, err := loadDataset(*dsPath)
+	if err != nil {
+		return err
+	}
+	cfg := core.DefaultModelConfig(base)
+	cfg.Sizes = ds.Sizes
+	cfg.Epochs = *epochs
+	m, err := core.CrossValidate(ds, cfg, *folds, *iters, 1)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("base=%v folds=%d iterations=%d\n", base, *folds, *iters)
+	fmt.Printf("MSE=%.4f MAPE=%.4f R2=%.4f ExpVar=%.4f\n", m.MSE, m.MAPE, m.R2, m.ExpVar)
+	return nil
+}
+
+func cmdRecommend(args []string) error {
+	fs := flag.NewFlagSet("recommend", flag.ContinueOnError)
+	modelPath := fs.String("model", "model.json", "trained model path")
+	dsPath := fs.String("dataset", "dataset.csv", "dataset CSV holding the function's monitoring data")
+	fn := fs.String("function", "", "function ID to recommend for")
+	tradeoff := fs.Float64("t", 0.75, "cost/performance tradeoff in [0,1]")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *fn == "" {
+		return fmt.Errorf("recommend: -function is required")
+	}
+	mf, err := os.Open(*modelPath)
+	if err != nil {
+		return err
+	}
+	defer mf.Close()
+	pred, err := sizeless.LoadPredictor(mf)
+	if err != nil {
+		return err
+	}
+	ds, err := loadDataset(*dsPath)
+	if err != nil {
+		return err
+	}
+	var summary monitoring.Summary
+	found := false
+	for _, row := range ds.Rows {
+		if row.FunctionID == *fn {
+			summary, found = row.Summaries[pred.Base()]
+			break
+		}
+	}
+	if !found {
+		return fmt.Errorf("function %q with base %v not in dataset", *fn, pred.Base())
+	}
+	rec, err := pred.Recommend(summary, *tradeoff)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("function %s (monitored at %v, t=%.2f)\n", *fn, pred.Base(), *tradeoff)
+	fmt.Printf("%-8s %12s %14s %8s %8s %8s\n", "memory", "pred time", "cost/1M", "S_cost", "S_perf", "S_total")
+	for _, o := range rec.Options {
+		fmt.Printf("%-8v %11.1fms %13.2f$ %8.3f %8.3f %8.3f\n",
+			o.Memory, o.ExecTimeMs, o.Cost*1e6, o.SCost, o.SPerf, o.STotal)
+	}
+	fmt.Printf("recommended: %v\n", rec.Best)
+	return nil
+}
+
+func cmdDemo(args []string) error {
+	fs := flag.NewFlagSet("demo", flag.ContinueOnError)
+	functions := fs.Int("functions", 120, "synthetic training functions")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	fmt.Println("1/3 generating training dataset (simulated measurement campaign)...")
+	ds, err := sizeless.GenerateDataset(sizeless.DatasetConfig{
+		Functions: *functions,
+		Rate:      10,
+		Duration:  8 * time.Second,
+		Seed:      1,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("    %d functions × %d sizes measured\n", len(ds.Rows), len(ds.Sizes))
+
+	fmt.Println("2/3 training the multi-target regression model (base 256MB)...")
+	pred, err := sizeless.TrainPredictor(ds, sizeless.PredictorConfig{Hidden: []int{64, 64}, Epochs: 200})
+	if err != nil {
+		return err
+	}
+
+	fmt.Println("3/3 recommending a memory size for a held-out function...")
+	summary := ds.Rows[len(ds.Rows)-1].Summaries[pred.Base()]
+	rec, err := pred.Recommend(summary, 0.75)
+	if err != nil {
+		return err
+	}
+	for _, o := range rec.Options {
+		marker := " "
+		if o.Memory == rec.Best {
+			marker = "*"
+		}
+		fmt.Printf("  %s %-8v %9.1fms  S_total=%.3f\n", marker, o.Memory, o.ExecTimeMs, o.STotal)
+	}
+	fmt.Printf("recommended memory size: %v\n", rec.Best)
+	return nil
+}

@@ -1,0 +1,80 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"sizeless"
+)
+
+// writeTestDataset builds a small dataset CSV for the CLI tests.
+func writeTestDataset(t *testing.T) string {
+	t.Helper()
+	ds, err := sizeless.GenerateDataset(sizeless.DatasetConfig{
+		Functions: 25,
+		Rate:      10,
+		Duration:  4 * time.Second,
+		Seed:      2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "ds.csv")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := ds.WriteCSV(f); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestTrainEvaluateRecommendPipeline(t *testing.T) {
+	dsPath := writeTestDataset(t)
+	modelPath := filepath.Join(t.TempDir(), "model.json")
+
+	if err := run([]string{"train", "-dataset", dsPath, "-epochs", "40", "-out", modelPath}); err != nil {
+		t.Fatalf("train: %v", err)
+	}
+	if _, err := os.Stat(modelPath); err != nil {
+		t.Fatalf("model not written: %v", err)
+	}
+	if err := run([]string{"evaluate", "-dataset", dsPath, "-epochs", "30", "-folds", "3"}); err != nil {
+		t.Fatalf("evaluate: %v", err)
+	}
+	if err := run([]string{"recommend", "-model", modelPath, "-dataset", dsPath,
+		"-function", "synthetic-0003", "-t", "0.75"}); err != nil {
+		t.Fatalf("recommend: %v", err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Error("no args should error with usage")
+	}
+	if err := run([]string{"frobnicate"}); err == nil {
+		t.Error("unknown subcommand should error")
+	}
+	if err := run([]string{"train", "-dataset", "/does/not/exist.csv"}); err == nil {
+		t.Error("missing dataset should error")
+	}
+	if err := run([]string{"train", "-base", "100"}); err == nil {
+		t.Error("invalid base size should error")
+	}
+	if err := run([]string{"recommend", "-model", "nope.json"}); err == nil {
+		t.Error("recommend without function should error")
+	}
+}
+
+func TestDemo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a small measurement campaign")
+	}
+	if err := run([]string{"demo", "-functions", "30"}); err != nil {
+		t.Fatal(err)
+	}
+}

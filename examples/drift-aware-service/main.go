@@ -1,0 +1,115 @@
+// Drift-aware continuous recommendation: the §5 workload-shift scenario.
+//
+// A fleet service ingests rolling monitoring windows for a production
+// function. While the workload is stationary, the recommendation stays put
+// (no churn). When the workload shifts — here the function's query fan-out
+// grows from 1 to 6 calls per request — the drift detector (Mann-Whitney U
+// + Cliff's delta on the model's six base metrics) fires and the
+// recommendation is recomputed from the new window.
+//
+// Run with: go run ./examples/drift-aware-service
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"sizeless"
+	"sizeless/internal/lambda"
+	"sizeless/internal/loadgen"
+	"sizeless/internal/monitoring"
+	"sizeless/internal/runtime"
+	"sizeless/internal/services"
+	"sizeless/internal/workload"
+	"sizeless/internal/xrand"
+)
+
+// collect traces `spec` at 256MB and returns the per-invocation records.
+func collect(spec *workload.Spec, seed int64) ([]monitoring.Invocation, error) {
+	env := runtime.NewEnv()
+	store := monitoring.NewMemoryStore()
+	dep, err := lambda.NewDeployment(env, spec, sizeless.Mem256, store, xrand.New(seed).Derive("dep"))
+	if err != nil {
+		return nil, err
+	}
+	sched, err := loadgen.Poisson(20, 20*time.Second, xrand.New(seed).Derive("sched"))
+	if err != nil {
+		return nil, err
+	}
+	if _, err := dep.Run(sched); err != nil {
+		return nil, err
+	}
+	return store.Invocations(spec.Name), nil
+}
+
+func searchService(queryFanout int) *workload.Spec {
+	return &workload.Spec{
+		Name: "search-service",
+		Ops: []workload.Op{
+			workload.CPUOp{Label: "parseQuery", WorkMs: 10, Parallelism: 1, TransientAllocMB: 4},
+			workload.ServiceOp{Service: services.DynamoDB, Op: "Query", Calls: queryFanout, RequestKB: 1, ResponseKB: 16},
+			workload.CPUOp{Label: "rankResults", WorkMs: 8, Parallelism: 1, TransientAllocMB: 6},
+		},
+		BaseHeapMB: 30, CodeMB: 3.5, PayloadKB: 2, ResponseKB: 6, NoiseCoV: 0.12,
+	}
+}
+
+func main() {
+	log.SetFlags(0)
+
+	ds, err := sizeless.GenerateDataset(sizeless.DatasetConfig{
+		Functions: 150, Rate: 10, Duration: 8 * time.Second, Seed: 1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	pred, err := sizeless.TrainPredictor(ds, sizeless.PredictorConfig{Hidden: []int{64, 64}, Epochs: 250})
+	if err != nil {
+		log.Fatal(err)
+	}
+	svc, err := pred.NewService(sizeless.ServiceConfig{MinWindow: 150})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Phase 1: stationary production traffic (fan-out 1).
+	fmt.Println("phase 1: stationary traffic, three monitoring windows...")
+	steady, err := collect(searchService(1), 21)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for w := 0; w+150 <= len(steady) && w < 450; w += 150 {
+		st, err := svc.Ingest("search-service", steady[w:w+150])
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  window %d: recommendation=%v recomputations=%d\n",
+			w/150+1, st.Recommendation.Best, st.Recomputations)
+	}
+
+	// Phase 2: a release changes the query fan-out from 1 to 6.
+	fmt.Println("\nphase 2: new release — query fan-out grows 1 → 6...")
+	shifted, err := collect(searchService(6), 22)
+	if err != nil {
+		log.Fatal(err)
+	}
+	st, err := svc.Ingest("search-service", shifted[:150])
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  drift detected on %d metrics:\n", len(st.LastDrift))
+	for _, shift := range st.LastDrift {
+		direction := "↑"
+		if shift.Delta < 0 {
+			direction = "↓"
+		}
+		fmt.Printf("    %-22s %s (delta %+.2f, p %.2g)\n", shift.Metric, direction, shift.Delta, shift.P)
+	}
+	fmt.Printf("  recommendation refreshed: %v (recomputations: %d)\n",
+		st.Recommendation.Best, st.Recomputations)
+
+	sum := svc.Summarize()
+	fmt.Printf("\nfleet: %d function(s), %d recommended, %d drift-triggered refreshes\n",
+		sum.Functions, sum.WithRecommend, sum.Recomputations)
+}

@@ -1,0 +1,112 @@
+// Production-monitoring scenario: validate a Sizeless recommendation
+// against ground truth.
+//
+// A developer runs an order-processing function at the default memory size.
+// Sizeless predicts all other sizes from that single deployment's
+// monitoring data; this example then *actually measures* every size on the
+// simulated platform and compares — the paper's RQ1/RQ2 evaluation in
+// miniature for one function.
+//
+// Run with: go run ./examples/production-monitoring
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"time"
+
+	"sizeless"
+	"sizeless/internal/services"
+	"sizeless/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// Offline phase.
+	ds, err := sizeless.GenerateDataset(sizeless.DatasetConfig{
+		Functions: 150,
+		Rate:      10,
+		Duration:  8 * time.Second,
+		Seed:      1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	pred, err := sizeless.TrainPredictor(ds, sizeless.PredictorConfig{
+		Hidden: []int{64, 64},
+		Epochs: 250,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The production function: parse order, check inventory in DynamoDB,
+	// charge via an external payment API, persist the order.
+	orderProcessor := &workload.Spec{
+		Name: "order-processor",
+		Ops: []workload.Op{
+			workload.CPUOp{Label: "parseOrder", WorkMs: 12, Parallelism: 1, TransientAllocMB: 6},
+			workload.ServiceOp{Service: services.DynamoDB, Op: "Query", Calls: 2, RequestKB: 1, ResponseKB: 8},
+			workload.ServiceOp{Service: services.ExternalAPI, Op: "POST /charge", Calls: 1, RequestKB: 3, ResponseKB: 2},
+			workload.ServiceOp{Service: services.DynamoDB, Op: "PutItem", Calls: 1, RequestKB: 4, ResponseKB: 0.5},
+		},
+		BaseHeapMB: 32,
+		CodeMB:     4,
+		PayloadKB:  4,
+		ResponseKB: 2,
+		NoiseCoV:   0.12,
+	}
+
+	// Online phase: one monitored size.
+	summary, err := sizeless.MonitorFunction(orderProcessor, sizeless.MonitorConfig{
+		Memory:   sizeless.Mem256,
+		Rate:     15,
+		Duration: 30 * time.Second,
+		Seed:     11,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	predicted, err := pred.Predict(summary)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Ground truth: measure every size (what Sizeless lets you skip).
+	fmt.Println("validating against dedicated measurements of every size...")
+	measured := make(map[sizeless.MemorySize]float64, 6)
+	for _, m := range sizeless.StandardSizes() {
+		s, err := sizeless.MonitorFunction(orderProcessor, sizeless.MonitorConfig{
+			Memory:   m,
+			Rate:     15,
+			Duration: 30 * time.Second,
+			Seed:     11,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		measured[m] = s.Mean[0]
+	}
+
+	fmt.Printf("\n%-8s %12s %12s %10s\n", "memory", "predicted", "measured", "rel error")
+	var totalErr float64
+	var n int
+	for _, m := range sizeless.StandardSizes() {
+		relErr := math.Abs(predicted[m]-measured[m]) / measured[m]
+		if m != sizeless.Mem256 {
+			totalErr += relErr
+			n++
+		}
+		fmt.Printf("%-8v %10.1fms %10.1fms %9.1f%%\n", m, predicted[m], measured[m], relErr*100)
+	}
+	fmt.Printf("\nmean prediction error over unseen sizes: %.1f%% (paper average: 15.3%%)\n",
+		totalErr/float64(n)*100)
+
+	rec, err := pred.Recommend(summary, 0.75)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("recommended size from one monitored deployment: %v\n", rec.Best)
+}

@@ -1,0 +1,89 @@
+// Quickstart: the complete Sizeless pipeline in one page.
+//
+// Offline phase — generate a synthetic-function dataset on the simulated
+// FaaS platform and train the multi-target regression model. Online phase —
+// monitor one function at a single memory size and get a recommendation for
+// the optimal size, with no dedicated performance tests.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"sizeless"
+	"sizeless/internal/services"
+	"sizeless/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// ---- Offline phase (done once, by the platform operator) ----
+	fmt.Println("training dataset: 150 synthetic functions × 6 memory sizes...")
+	ds, err := sizeless.GenerateDataset(sizeless.DatasetConfig{
+		Functions: 150,
+		Rate:      10,
+		Duration:  8 * time.Second,
+		Seed:      1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	pred, err := sizeless.TrainPredictor(ds, sizeless.PredictorConfig{
+		Base:   sizeless.Mem256,
+		Hidden: []int{64, 64},
+		Epochs: 250,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// ---- Online phase (per production function) ----
+	// A thumbnail service: downloads an image from S3, resizes it on the
+	// CPU, and writes the result back.
+	thumbnailer := &workload.Spec{
+		Name: "thumbnailer",
+		Ops: []workload.Op{
+			workload.ServiceOp{Service: services.S3, Op: "GetObject", Calls: 1, RequestKB: 0.5, ResponseKB: 800},
+			workload.CPUOp{Label: "resize", WorkMs: 90, Parallelism: 1, TransientAllocMB: 55},
+			workload.ServiceOp{Service: services.S3, Op: "PutObject", Calls: 1, RequestKB: 90, ResponseKB: 0.5},
+		},
+		BaseHeapMB: 35,
+		CodeMB:     5,
+		PayloadKB:  2,
+		ResponseKB: 1,
+		NoiseCoV:   0.12,
+	}
+
+	fmt.Println("monitoring 'thumbnailer' in production at 256MB...")
+	summary, err := sizeless.MonitorFunction(thumbnailer, sizeless.MonitorConfig{
+		Memory:   sizeless.Mem256,
+		Rate:     10,
+		Duration: 30 * time.Second,
+		Seed:     7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("observed: %d invocations, mean execution %.1fms\n\n",
+		summary.N, summary.Mean[0])
+
+	rec, err := pred.Recommend(summary, 0.75) // paper-recommended tradeoff
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-8s %12s %12s %9s\n", "memory", "pred time", "cost/1M", "S_total")
+	for _, o := range rec.Options {
+		marker := "  "
+		if o.Memory == rec.Best {
+			marker = "→ "
+		}
+		fmt.Printf("%s%-8v %10.1fms %10.2f$ %9.3f\n",
+			marker, o.Memory, o.ExecTimeMs, o.Cost*1e6, o.STotal)
+	}
+	fmt.Printf("\nrecommended memory size: %v\n", rec.Best)
+}

@@ -1,0 +1,93 @@
+// Tradeoff-sweep scenario: how the §3.5 tradeoff parameter t steers the
+// recommendation between cost and performance for one function.
+//
+// The example monitors a CPU-heavy report generator once, then sweeps t
+// from 1.0 (pure cost) to 0.0 (pure performance) and prints the predicted
+// cost/performance frontier with the selected size at each setting — the
+// knob a system operator turns (paper: t = 0.75 is the most balanced).
+//
+// Run with: go run ./examples/tradeoff-sweep
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"sizeless"
+	"sizeless/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	ds, err := sizeless.GenerateDataset(sizeless.DatasetConfig{
+		Functions: 150,
+		Rate:      10,
+		Duration:  8 * time.Second,
+		Seed:      1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	pred, err := sizeless.TrainPredictor(ds, sizeless.PredictorConfig{
+		Hidden: []int{64, 64},
+		Epochs: 250,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A nightly report generator: heavy matrix math over in-memory data.
+	reporter := &workload.Spec{
+		Name: "report-generator",
+		Ops: []workload.Op{
+			workload.CPUOp{Label: "aggregate", WorkMs: 350, Parallelism: 1, TransientAllocMB: 60},
+			workload.FileWriteOp{MB: 8},
+		},
+		BaseHeapMB: 40,
+		CodeMB:     4,
+		PayloadKB:  1,
+		ResponseKB: 2,
+		NoiseCoV:   0.1,
+	}
+	summary, err := sizeless.MonitorFunction(reporter, sizeless.MonitorConfig{
+		Memory:   sizeless.Mem256,
+		Rate:     5,
+		Duration: 40 * time.Second,
+		Seed:     13,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("monitored at 256MB: mean execution %.1fms\n\n", summary.Mean[0])
+	fmt.Printf("%-6s %9s %12s %12s %14s\n", "t", "selected", "pred time", "cost/1M", "interpretation")
+	for _, t := range []float64{1.0, 0.9, 0.75, 0.5, 0.25, 0.1, 0.0} {
+		rec, err := pred.Recommend(summary, t)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var opt sizeless.Recommendation
+		opt = rec
+		var timeMs, cost float64
+		for _, o := range opt.Options {
+			if o.Memory == opt.Best {
+				timeMs, cost = o.ExecTimeMs, o.Cost
+			}
+		}
+		label := "balanced"
+		switch {
+		case t >= 0.9:
+			label = "cheapest"
+		case t >= 0.7:
+			label = "cost-leaning"
+		case t <= 0.1:
+			label = "fastest"
+		case t <= 0.3:
+			label = "perf-leaning"
+		}
+		fmt.Printf("%-6.2f %9v %10.1fms %11.2f$ %14s\n", t, rec.Best, timeMs, cost*1e6, label)
+	}
+	fmt.Println("\nhigher t favors cheap configurations; lower t buys speed with money.")
+}

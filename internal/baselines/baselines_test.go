@@ -1,0 +1,210 @@
+package baselines
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"sizeless/internal/platform"
+)
+
+// cpuBoundTable: t(m) = 50 + 9000/share(m) — exactly COSE's model family.
+func cpuBoundTable() TableMeasurer {
+	res := platform.DefaultResourceModel()
+	t := make(TableMeasurer)
+	for _, m := range platform.StandardSizes() {
+		t[m] = 50 + 9000/res.SingleThreadSpeed(m)
+	}
+	return t
+}
+
+func flatTable() TableMeasurer {
+	t := make(TableMeasurer)
+	for _, m := range platform.StandardSizes() {
+		t[m] = 250
+	}
+	return t
+}
+
+// countingMeasurer wraps a table and counts Measure calls.
+type countingMeasurer struct {
+	table TableMeasurer
+	calls int
+}
+
+func (c *countingMeasurer) Measure(m platform.MemorySize) (float64, error) {
+	c.calls++
+	return c.table.Measure(m)
+}
+
+func TestPowerTuningMeasuresEverything(t *testing.T) {
+	cm := &countingMeasurer{table: cpuBoundTable()}
+	res, err := PowerTuning(cm, platform.StandardSizes(), platform.DefaultPricing(), 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MeasurementsUsed != 6 || cm.calls != 6 {
+		t.Errorf("power tuning used %d measurements (%d calls), want 6", res.MeasurementsUsed, cm.calls)
+	}
+	if len(res.Times) != 6 {
+		t.Errorf("times for %d sizes, want 6", len(res.Times))
+	}
+	if res.Recommendation.Best == 0 {
+		t.Error("no recommendation")
+	}
+}
+
+func TestPowerTuningErrors(t *testing.T) {
+	if _, err := PowerTuning(TableMeasurer{}, nil, platform.DefaultPricing(), 0.5); err == nil {
+		t.Error("no sizes should error")
+	}
+	if _, err := PowerTuning(TableMeasurer{}, platform.StandardSizes(), platform.DefaultPricing(), 0.5); err == nil {
+		t.Error("missing table entries should error")
+	}
+}
+
+func TestCOSEBudgetRespected(t *testing.T) {
+	cm := &countingMeasurer{table: cpuBoundTable()}
+	res, err := COSE(cm, platform.StandardSizes(), platform.DefaultResourceModel(), platform.DefaultPricing(), 0.5, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MeasurementsUsed != 4 || cm.calls != 4 {
+		t.Errorf("COSE used %d measurements (%d calls), want 4", res.MeasurementsUsed, cm.calls)
+	}
+	// All sizes get a time (measured or predicted).
+	if len(res.Times) != 6 {
+		t.Errorf("times for %d sizes, want 6", len(res.Times))
+	}
+}
+
+func TestCOSERecoversModelFamily(t *testing.T) {
+	// The table is exactly affine in inverse share, so COSE's predictions
+	// for unmeasured sizes must be nearly exact.
+	table := cpuBoundTable()
+	res, err := COSE(table, platform.StandardSizes(), platform.DefaultResourceModel(), platform.DefaultPricing(), 0.5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for m, want := range table {
+		got := res.Times[m]
+		if math.Abs(got-want)/want > 0.01 {
+			t.Errorf("COSE prediction at %v = %v, want %v", m, got, want)
+		}
+	}
+	// With an exact model, COSE must agree with power tuning's selection.
+	pt, err := PowerTuning(table, platform.StandardSizes(), platform.DefaultPricing(), 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Recommendation.Best != pt.Recommendation.Best {
+		t.Errorf("COSE selected %v, power tuning %v", res.Recommendation.Best, pt.Recommendation.Best)
+	}
+}
+
+func TestCOSEFlatFunction(t *testing.T) {
+	res, err := COSE(flatTable(), platform.StandardSizes(), platform.DefaultResourceModel(), platform.DefaultPricing(), 0.75, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Recommendation.Best != platform.Mem128 {
+		t.Errorf("flat function should select 128MB, got %v", res.Recommendation.Best)
+	}
+}
+
+func TestCOSEErrors(t *testing.T) {
+	res := platform.DefaultResourceModel()
+	pricing := platform.DefaultPricing()
+	if _, err := COSE(flatTable(), []platform.MemorySize{128}, res, pricing, 0.5, 3); err == nil {
+		t.Error("single candidate should error")
+	}
+	if _, err := COSE(flatTable(), platform.StandardSizes(), res, pricing, 0.5, 1); err == nil {
+		t.Error("budget < 2 should error")
+	}
+	// Budget beyond the grid clamps instead of failing.
+	r, err := COSE(flatTable(), platform.StandardSizes(), res, pricing, 0.5, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.MeasurementsUsed != 6 {
+		t.Errorf("clamped budget used %d, want 6", r.MeasurementsUsed)
+	}
+}
+
+func TestBATCHInterpolates(t *testing.T) {
+	cm := &countingMeasurer{table: cpuBoundTable()}
+	res, err := BATCH(cm, platform.StandardSizes(), platform.DefaultPricing(), 0.5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MeasurementsUsed != 3 || cm.calls != 3 {
+		t.Errorf("BATCH used %d measurements, want 3", res.MeasurementsUsed)
+	}
+	if len(res.Times) != 6 {
+		t.Errorf("times for %d sizes, want 6", len(res.Times))
+	}
+	for m, v := range res.Times {
+		if v <= 0 {
+			t.Errorf("non-positive prediction at %v", m)
+		}
+	}
+}
+
+func TestBATCHCustomProfileSizes(t *testing.T) {
+	table := cpuBoundTable()
+	profile := []platform.MemorySize{platform.Mem128, platform.Mem512, platform.Mem3008}
+	res, err := BATCH(table, platform.StandardSizes(), platform.DefaultPricing(), 0.5, profile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range profile {
+		if res.Times[m] != table[m] {
+			t.Errorf("profiled size %v should use the measured value", m)
+		}
+	}
+}
+
+func TestBATCHErrors(t *testing.T) {
+	pricing := platform.DefaultPricing()
+	if _, err := BATCH(flatTable(), []platform.MemorySize{128, 256}, pricing, 0.5, nil); err == nil {
+		t.Error("fewer than 3 sizes should error")
+	}
+	if _, err := BATCH(flatTable(), platform.StandardSizes(), pricing, 0.5, []platform.MemorySize{128, 256}); err == nil {
+		t.Error("fewer than 3 profile sizes should error")
+	}
+}
+
+func TestTableMeasurerMissing(t *testing.T) {
+	var e error
+	_, e = TableMeasurer{}.Measure(platform.Mem128)
+	if e == nil {
+		t.Error("missing entry should error")
+	}
+	var target *platform.MemorySize
+	_ = target
+	if !errors.Is(e, e) {
+		t.Error("errors.Is reflexivity sanity check failed")
+	}
+}
+
+func TestBaselineMeasurementCostOrdering(t *testing.T) {
+	// The paper's motivation: Sizeless needs 1 measurement, the baselines
+	// need more. Verify the baseline ordering: BATCH(3) ≤ COSE(4) < PT(6).
+	table := cpuBoundTable()
+	pt, err := PowerTuning(table, platform.StandardSizes(), platform.DefaultPricing(), 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cose, err := COSE(table, platform.StandardSizes(), platform.DefaultResourceModel(), platform.DefaultPricing(), 0.5, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := BATCH(table, platform.StandardSizes(), platform.DefaultPricing(), 0.5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(batch.MeasurementsUsed < cose.MeasurementsUsed && cose.MeasurementsUsed < pt.MeasurementsUsed) {
+		t.Errorf("measurement ordering violated: batch=%d cose=%d pt=%d",
+			batch.MeasurementsUsed, cose.MeasurementsUsed, pt.MeasurementsUsed)
+	}
+}

@@ -1,0 +1,71 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+
+	"sizeless/internal/dataset"
+	"sizeless/internal/features"
+)
+
+// FineTuneOptions configures transfer learning (the paper's §5 proposal for
+// surviving provider-side platform changes without regenerating the full
+// 2000-function dataset).
+type FineTuneOptions struct {
+	// FreezeLayers freezes this many initial layers. Zero means half the
+	// network (rounded down), the usual transfer-learning split.
+	FreezeLayers int
+	// Epochs is the retraining budget (default 100).
+	Epochs int
+}
+
+// FineTune clones the model and adapts the clone to a (typically much
+// smaller) new dataset: the first layers are frozen, the rest retrain on
+// the new data. The original model is left untouched; the feature scaler is
+// retained from the original so inputs stay on the same scale.
+func FineTune(m *Model, ds *dataset.Dataset, opts FineTuneOptions) (*Model, error) {
+	if len(ds.Rows) == 0 {
+		return nil, errors.New("core: fine-tune dataset is empty")
+	}
+	if opts.Epochs <= 0 {
+		opts.Epochs = 100
+	}
+
+	// Clone via serialization: fresh optimizer state, independent weights.
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		return nil, err
+	}
+	clone, err := LoadModel(&buf)
+	if err != nil {
+		return nil, err
+	}
+
+	x, err := features.Matrix(ds, clone.cfg.Base, clone.cfg.Features)
+	if err != nil {
+		return nil, fmt.Errorf("core: fine-tune: %w", err)
+	}
+	y, err := features.Targets(ds, clone.cfg.Base, clone.targets)
+	if err != nil {
+		return nil, fmt.Errorf("core: fine-tune: %w", err)
+	}
+	xs, err := clone.scaler.TransformBatch(x)
+	if err != nil {
+		return nil, fmt.Errorf("core: fine-tune: %w", err)
+	}
+
+	for _, net := range clone.nets {
+		freeze := opts.FreezeLayers
+		if freeze <= 0 {
+			freeze = net.LayerCount() / 2
+		}
+		if err := net.SetFrozenLayers(freeze); err != nil {
+			return nil, fmt.Errorf("core: fine-tune: %w", err)
+		}
+		if _, err := net.TrainEpochs(xs, y, opts.Epochs); err != nil {
+			return nil, fmt.Errorf("core: fine-tune: %w", err)
+		}
+	}
+	return clone, nil
+}

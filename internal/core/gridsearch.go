@@ -1,0 +1,81 @@
+package core
+
+import (
+	"errors"
+	"sort"
+
+	"sizeless/internal/dataset"
+	"sizeless/internal/nn"
+)
+
+// GridSpec enumerates the hyperparameter grid of paper Table 2.
+type GridSpec struct {
+	Optimizers []nn.Optimizer
+	Losses     []nn.Loss
+	Epochs     []int
+	Neurons    []int
+	L2s        []float64
+	Layers     []int
+}
+
+// PaperGrid returns the exact parameter ranges of Table 2 (1296 configs).
+func PaperGrid() GridSpec {
+	return GridSpec{
+		Optimizers: []nn.Optimizer{nn.SGD, nn.Adam, nn.Adagrad},
+		Losses:     []nn.Loss{nn.MSE, nn.MAE, nn.MAPE},
+		Epochs:     []int{200, 500, 1000},
+		Neurons:    []int{64, 128, 256},
+		L2s:        []float64{0, 0.0001, 0.001, 0.01},
+		Layers:     []int{2, 3, 4, 5},
+	}
+}
+
+// Size returns the number of configurations in the grid.
+func (g GridSpec) Size() int {
+	return len(g.Optimizers) * len(g.Losses) * len(g.Epochs) * len(g.Neurons) * len(g.L2s) * len(g.Layers)
+}
+
+// GridResult scores one configuration.
+type GridResult struct {
+	Config  ModelConfig
+	Metrics CVMetrics
+}
+
+// GridSearch evaluates every configuration in the grid with k-fold CV and
+// returns the results sorted by ascending MSE (best first).
+func GridSearch(ds *dataset.Dataset, base ModelConfig, grid GridSpec, k int, seed int64) ([]GridResult, error) {
+	if grid.Size() == 0 {
+		return nil, errors.New("core: empty hyperparameter grid")
+	}
+	results := make([]GridResult, 0, grid.Size())
+	for _, opt := range grid.Optimizers {
+		for _, loss := range grid.Losses {
+			for _, epochs := range grid.Epochs {
+				for _, neurons := range grid.Neurons {
+					for _, l2 := range grid.L2s {
+						for _, layers := range grid.Layers {
+							cfg := base
+							cfg.Optimizer = opt
+							cfg.Loss = loss
+							cfg.Epochs = epochs
+							cfg.L2 = l2
+							cfg.Hidden = make([]int, layers)
+							for i := range cfg.Hidden {
+								cfg.Hidden[i] = neurons
+							}
+							m, err := CrossValidate(ds, cfg, k, 1, seed)
+							if err != nil {
+								return nil, err
+							}
+							results = append(results, GridResult{Config: cfg, Metrics: m})
+						}
+					}
+				}
+			}
+		}
+	}
+	sort.SliceStable(results, func(i, j int) bool {
+		return results[i].Metrics.MSE < results[j].Metrics.MSE
+	})
+	return results, nil
+}

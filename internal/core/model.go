@@ -1,0 +1,272 @@
+// Package core implements the paper's primary contribution (§3.4–§3.5
+// support): the multi-target regression model that predicts a serverless
+// function's execution time at every memory size from monitoring data
+// collected at a single base size, plus its training, cross-validation,
+// hyperparameter grid search, and partial-dependence analysis.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+
+	"sizeless/internal/dataset"
+	"sizeless/internal/features"
+	"sizeless/internal/monitoring"
+	"sizeless/internal/nn"
+	"sizeless/internal/platform"
+)
+
+// ModelConfig describes one trainable model: which base size it monitors,
+// which sizes it predicts, its feature set, and the network hyperparameters
+// (Table 2).
+type ModelConfig struct {
+	// Base is the monitored memory size (the paper recommends 256 MB).
+	Base platform.MemorySize
+	// Sizes is the full memory grid; targets are Sizes minus Base.
+	Sizes []platform.MemorySize
+	// Features is the input feature set (defaults to the paper-final F4).
+	Features []features.Feature
+	// Network hyperparameters (paper final: 4×256, Adam, MAPE, 200
+	// epochs, L2 = 0.01).
+	Hidden       []int
+	Optimizer    nn.Optimizer
+	Loss         nn.Loss
+	Epochs       int
+	L2           float64
+	LearningRate float64
+	BatchSize    int
+	Seed         int64
+	// EnsembleSize trains this many networks from different seeds and
+	// averages their predictions. The paper trains a single network on
+	// 2000 functions; at smaller dataset sizes a small ensemble removes
+	// the prediction jitter of individual networks. Default: 3.
+	EnsembleSize int
+}
+
+// DefaultModelConfig returns the paper's final configuration for the given
+// base size.
+func DefaultModelConfig(base platform.MemorySize) ModelConfig {
+	return ModelConfig{
+		Base:      base,
+		Sizes:     platform.StandardSizes(),
+		Features:  features.PaperFinalFeatures(),
+		Hidden:    []int{256, 256, 256, 256},
+		Optimizer: nn.Adam,
+		Loss:      nn.MAPE,
+		Epochs:    200,
+		L2:        0.01,
+		Seed:      1,
+	}
+}
+
+func (c ModelConfig) withDefaults() ModelConfig {
+	if c.Sizes == nil {
+		c.Sizes = platform.StandardSizes()
+	}
+	if c.Features == nil {
+		c.Features = features.PaperFinalFeatures()
+	}
+	if c.Hidden == nil {
+		c.Hidden = []int{256, 256, 256, 256}
+	}
+	if c.Optimizer == "" {
+		c.Optimizer = nn.Adam
+	}
+	if c.Loss == "" {
+		c.Loss = nn.MAPE
+	}
+	if c.Epochs <= 0 {
+		c.Epochs = 200
+	}
+	if c.EnsembleSize <= 0 {
+		c.EnsembleSize = 3
+	}
+	return c
+}
+
+// Model is a trained execution-time predictor for one base size. It holds
+// an ensemble of identically configured networks trained from different
+// seeds; predictions are the ensemble mean.
+type Model struct {
+	cfg     ModelConfig
+	targets []platform.MemorySize
+	scaler  *nn.Scaler
+	nets    []*nn.Network
+}
+
+// Train fits a model on the dataset.
+func Train(ds *dataset.Dataset, cfg ModelConfig) (*Model, error) {
+	cfg = cfg.withDefaults()
+	if len(ds.Rows) == 0 {
+		return nil, errors.New("core: empty training dataset")
+	}
+	x, err := features.Matrix(ds, cfg.Base, cfg.Features)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	targets := features.TargetSizes(cfg.Sizes, cfg.Base)
+	if len(targets) == 0 {
+		return nil, errors.New("core: no target sizes")
+	}
+	y, err := features.Targets(ds, cfg.Base, targets)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+
+	scaler, err := nn.FitScaler(x)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	xs, err := scaler.TransformBatch(x)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+
+	// Ensemble members are independent; train them in parallel. Each has
+	// its own seed, so the result does not depend on scheduling.
+	nets := make([]*nn.Network, cfg.EnsembleSize)
+	errs := make([]error, cfg.EnsembleSize)
+	var wg sync.WaitGroup
+	for e := 0; e < cfg.EnsembleSize; e++ {
+		wg.Add(1)
+		go func(e int) {
+			defer wg.Done()
+			net, err := nn.New(nn.Config{
+				Inputs:       len(cfg.Features),
+				Outputs:      len(targets),
+				Hidden:       cfg.Hidden,
+				Optimizer:    cfg.Optimizer,
+				Loss:         cfg.Loss,
+				L2:           cfg.L2,
+				Epochs:       cfg.Epochs,
+				LearningRate: cfg.LearningRate,
+				BatchSize:    cfg.BatchSize,
+				Seed:         cfg.Seed + int64(e)*9973,
+			})
+			if err != nil {
+				errs[e] = err
+				return
+			}
+			if _, err := net.Train(xs, y); err != nil {
+				errs[e] = err
+				return
+			}
+			nets[e] = net
+		}(e)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+	}
+	return &Model{cfg: cfg, targets: targets, scaler: scaler, nets: nets}, nil
+}
+
+// Config returns the model's configuration.
+func (m *Model) Config() ModelConfig { return m.cfg }
+
+// Targets returns the predicted memory sizes (grid minus base).
+func (m *Model) Targets() []platform.MemorySize {
+	return append([]platform.MemorySize(nil), m.targets...)
+}
+
+// PredictRatios predicts the execution-time ratios (target/base) from a
+// base-size monitoring summary. Predictions are floored at a small positive
+// value: a ratio of zero or below is physically impossible.
+func (m *Model) PredictRatios(s monitoring.Summary) ([]float64, error) {
+	vec := make([]float64, len(m.cfg.Features))
+	for j, f := range m.cfg.Features {
+		vec[j] = f.Extract(s)
+	}
+	return m.predictVector(vec)
+}
+
+// predictVector scales a raw feature vector, runs the network, and clamps
+// the resulting ratios to a physically plausible band: no memory change
+// yields a >50× slowdown or speedup on this platform (the CPU share spans
+// only ~28× between 128 MB and 3008 MB).
+func (m *Model) predictVector(vec []float64) ([]float64, error) {
+	scaled, err := m.scaler.Transform(vec)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	ratios := make([]float64, len(m.targets))
+	for _, net := range m.nets {
+		p, err := net.Predict(scaled)
+		if err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+		for i, v := range p {
+			ratios[i] += v
+		}
+	}
+	for i := range ratios {
+		ratios[i] /= float64(len(m.nets))
+	}
+	const minRatio, maxRatio = 0.02, 50.0
+	for i, r := range ratios {
+		if r < minRatio {
+			ratios[i] = minRatio
+		}
+		if r > maxRatio {
+			ratios[i] = maxRatio
+		}
+	}
+	return ratios, nil
+}
+
+// Predict returns the execution time in milliseconds for every size in the
+// grid. The base size reports the monitored value itself; target sizes use
+// the predicted ratios. Predictions are projected onto the physically valid
+// region: on a platform whose every resource scales monotonically with
+// memory, execution time cannot increase with memory, so any inversion in
+// the raw network output is flattened (isotonic projection in size order,
+// anchored at the monitored base value).
+func (m *Model) Predict(s monitoring.Summary) (map[platform.MemorySize]float64, error) {
+	baseMs := s.Mean[monitoring.ExecutionTime]
+	if baseMs <= 0 {
+		return nil, errors.New("core: summary has non-positive execution time")
+	}
+	ratios, err := m.PredictRatios(s)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[platform.MemorySize]float64, len(m.targets)+1)
+	out[m.cfg.Base] = baseMs
+	for i, mem := range m.targets {
+		out[mem] = ratios[i] * baseMs
+	}
+	enforceMonotone(out, m.cfg.Sizes)
+	return out, nil
+}
+
+// enforceMonotone flattens inversions: traversing sizes in ascending order,
+// each prediction is capped by its predecessor's value.
+func enforceMonotone(times map[platform.MemorySize]float64, sizes []platform.MemorySize) {
+	ordered := append([]platform.MemorySize(nil), sizes...)
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i] < ordered[j] })
+	prev := math.Inf(1)
+	for _, m := range ordered {
+		t, ok := times[m]
+		if !ok {
+			continue
+		}
+		if t > prev {
+			times[m] = prev
+		} else {
+			prev = t
+		}
+	}
+}
+
+// Save persists the trained model (network weights, scaler, config
+// metadata). The feature set is identified by name; loading resolves names
+// against the paper-final feature constructors.
+func (m *Model) Save(w io.Writer) error {
+	return saveModel(m, w)
+}

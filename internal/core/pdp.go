@@ -1,0 +1,115 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"sizeless/internal/dataset"
+	"sizeless/internal/features"
+	"sizeless/internal/platform"
+	"sizeless/internal/stats"
+)
+
+// PDP is one feature's partial-dependence analysis (paper Fig. 5): for a
+// grid of feature values (min-max scaled to [0, 1] across the dataset), the
+// mean predicted *speedup* (base time / predicted target time) per target
+// memory size.
+type PDP struct {
+	// FeatureName identifies the analyzed feature.
+	FeatureName string
+	// X holds the scaled grid positions in [0, 1].
+	X []float64
+	// Speedup[t][i] is the mean predicted speedup for target t at X[i].
+	Speedup map[platform.MemorySize][]float64
+	// Range records the raw (min, max) feature values behind the scaling.
+	Min, Max float64
+}
+
+// PartialDependence computes the PDP of the model's featIdx-th feature over
+// the dataset with the given number of grid points.
+func PartialDependence(model *Model, ds *dataset.Dataset, featIdx, points int) (PDP, error) {
+	if featIdx < 0 || featIdx >= len(model.cfg.Features) {
+		return PDP{}, fmt.Errorf("core: feature index %d out of range", featIdx)
+	}
+	if points < 2 {
+		return PDP{}, errors.New("core: need at least 2 grid points")
+	}
+	if len(ds.Rows) == 0 {
+		return PDP{}, errors.New("core: empty dataset")
+	}
+
+	raw, err := features.Matrix(ds, model.cfg.Base, model.cfg.Features)
+	if err != nil {
+		return PDP{}, err
+	}
+	// Grid over the 5th–95th percentile of the feature (the sklearn PDP
+	// convention): the extreme order statistics drag the marginal far off
+	// the training manifold, where the network's behaviour is arbitrary.
+	col := make([]float64, len(raw))
+	for i, row := range raw {
+		col[i] = row[featIdx]
+	}
+	lo, err := stats.Percentile(col, 5)
+	if err != nil {
+		return PDP{}, err
+	}
+	hi, err := stats.Percentile(col, 95)
+	if err != nil {
+		return PDP{}, err
+	}
+	if hi == lo {
+		hi = lo + 1 // degenerate feature: flat PDP rather than an error
+	}
+
+	pdp := PDP{
+		FeatureName: model.cfg.Features[featIdx].Name,
+		X:           make([]float64, points),
+		Speedup:     make(map[platform.MemorySize][]float64, len(model.targets)),
+		Min:         lo,
+		Max:         hi,
+	}
+	for _, t := range model.targets {
+		pdp.Speedup[t] = make([]float64, points)
+	}
+
+	for p := 0; p < points; p++ {
+		frac := float64(p) / float64(points-1)
+		pdp.X[p] = frac
+		value := lo + frac*(hi-lo)
+
+		// Marginalize: substitute the grid value into every row, predict,
+		// and average the speedups. The median (rather than the mean) is
+		// used so a handful of off-manifold substitutions cannot dominate
+		// the curve.
+		perTarget := make([][]float64, len(model.targets))
+		for _, row := range raw {
+			probe := append([]float64(nil), row...)
+			probe[featIdx] = value
+			ratios, err := model.predictVector(probe)
+			if err != nil {
+				return PDP{}, err
+			}
+			for i, r := range ratios {
+				perTarget[i] = append(perTarget[i], 1/r) // speedup = base/target
+			}
+		}
+		for i, t := range model.targets {
+			med, err := stats.Median(perTarget[i])
+			if err != nil {
+				return PDP{}, err
+			}
+			pdp.Speedup[t][p] = med
+		}
+	}
+	return pdp, nil
+}
+
+// FeatureIndex resolves a feature name to its index in the model's set.
+func (m *Model) FeatureIndex(name string) (int, error) {
+	for i, f := range m.cfg.Features {
+		if f.Name == name {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("core: model has no feature %q", name)
+}

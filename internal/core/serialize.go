@@ -1,0 +1,97 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"sizeless/internal/features"
+	"sizeless/internal/nn"
+	"sizeless/internal/platform"
+)
+
+// savedModel is the JSON shape of a persisted model.
+type savedModel struct {
+	Base         int        `json:"base"`
+	Sizes        []int      `json:"sizes"`
+	FeatureNames []string   `json:"features"`
+	Targets      []int      `json:"targets"`
+	Scaler       *nn.Scaler `json:"scaler"`
+	// Networks holds one nn-package JSON blob per ensemble member.
+	Networks []json.RawMessage `json:"networks"`
+}
+
+func saveModel(m *Model, w io.Writer) error {
+	s := savedModel{
+		Base:         int(m.cfg.Base),
+		FeatureNames: features.Names(m.cfg.Features),
+		Scaler:       m.scaler,
+	}
+	for _, net := range m.nets {
+		var netBuf bytes.Buffer
+		if err := net.Save(&netBuf); err != nil {
+			return fmt.Errorf("core: save: %w", err)
+		}
+		s.Networks = append(s.Networks, json.RawMessage(netBuf.Bytes()))
+	}
+	for _, sz := range m.cfg.Sizes {
+		s.Sizes = append(s.Sizes, int(sz))
+	}
+	for _, t := range m.targets {
+		s.Targets = append(s.Targets, int(t))
+	}
+	if err := json.NewEncoder(w).Encode(s); err != nil {
+		return fmt.Errorf("core: save: %w", err)
+	}
+	return nil
+}
+
+// LoadModel reconstructs a model persisted with Model.Save. Only the parts
+// needed for prediction are restored (weights, scaler, feature set).
+func LoadModel(r io.Reader) (*Model, error) {
+	var s savedModel
+	if err := json.NewDecoder(r).Decode(&s); err != nil {
+		return nil, fmt.Errorf("core: load: %w", err)
+	}
+	feats := make([]features.Feature, 0, len(s.FeatureNames))
+	for _, name := range s.FeatureNames {
+		f, err := features.ByName(name)
+		if err != nil {
+			return nil, fmt.Errorf("core: load: %w", err)
+		}
+		feats = append(feats, f)
+	}
+	if len(s.Networks) == 0 {
+		return nil, fmt.Errorf("core: load: no networks")
+	}
+	nets := make([]*nn.Network, 0, len(s.Networks))
+	for _, blob := range s.Networks {
+		net, err := nn.Load(bytes.NewReader(blob))
+		if err != nil {
+			return nil, fmt.Errorf("core: load: %w", err)
+		}
+		nets = append(nets, net)
+	}
+	if s.Scaler == nil {
+		return nil, fmt.Errorf("core: load: missing scaler")
+	}
+	m := &Model{
+		cfg: ModelConfig{
+			Base:     platform.MemorySize(s.Base),
+			Features: feats,
+		},
+		scaler: s.Scaler,
+		nets:   nets,
+	}
+	for _, sz := range s.Sizes {
+		m.cfg.Sizes = append(m.cfg.Sizes, platform.MemorySize(sz))
+	}
+	for _, t := range s.Targets {
+		m.targets = append(m.targets, platform.MemorySize(t))
+	}
+	if len(m.targets) == 0 {
+		return nil, fmt.Errorf("core: load: no target sizes")
+	}
+	return m, nil
+}

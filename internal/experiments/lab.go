@@ -1,0 +1,270 @@
+// Package experiments implements one runner per table and figure of the
+// paper's evaluation (plus the ablations listed in DESIGN.md §5). Each
+// runner returns a typed result with a Render method that prints the same
+// rows/series the paper reports.
+//
+// Runners share a Lab, which lazily builds the expensive artifacts — the
+// synthetic training dataset, the per-base-size models, and the case-study
+// measurements — at a configurable Scale, so the full pipeline can run as
+// a quick test, a medium benchmark, or a paper-scale campaign.
+package experiments
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"sizeless/internal/apps"
+	"sizeless/internal/core"
+	"sizeless/internal/dataset"
+	"sizeless/internal/fngen"
+	"sizeless/internal/harness"
+	"sizeless/internal/monitoring"
+	"sizeless/internal/platform"
+	"sizeless/internal/runtime"
+	"sizeless/internal/workload"
+	"sizeless/internal/xrand"
+)
+
+// Scale controls experiment cost. The paper's numbers are FullScale; tests
+// and benchmarks use reduced settings that preserve the shapes.
+type Scale struct {
+	// Name labels the scale in reports.
+	Name string
+	// TrainFunctions is the synthetic-dataset population (paper: 2000).
+	TrainFunctions int
+	// Rate/Duration drive dataset-generation experiments (paper: 30 rps,
+	// 10 min).
+	Rate     float64
+	Duration time.Duration
+	// CaseRate/CaseDuration drive case-study measurements.
+	CaseRate     float64
+	CaseDuration time.Duration
+	// Repetitions for case-study measurements (paper: 10).
+	Repetitions int
+	// Model hyperparameters (paper: 4×256, 200 epochs).
+	Hidden []int
+	Epochs int
+	// StabilityFunctions and StabilityDuration configure Fig. 3 (paper:
+	// 50 functions, 15 min).
+	StabilityFunctions int
+	StabilityDuration  time.Duration
+	// Seed anchors all randomness.
+	Seed int64
+	// Workers bounds harness parallelism (0 = GOMAXPROCS).
+	Workers int
+}
+
+// SmallScale is sized for unit tests: seconds, not minutes.
+func SmallScale() Scale {
+	return Scale{
+		Name:               "small",
+		TrainFunctions:     220,
+		Rate:               10,
+		Duration:           6 * time.Second,
+		CaseRate:           15,
+		CaseDuration:       10 * time.Second,
+		Repetitions:        3,
+		Hidden:             []int{48, 48},
+		Epochs:             300,
+		StabilityFunctions: 8,
+		StabilityDuration:  30 * time.Second,
+		Seed:               1,
+	}
+}
+
+// MediumScale is the default for cmd/benchreport: minutes of CPU.
+func MediumScale() Scale {
+	return Scale{
+		Name:               "medium",
+		TrainFunctions:     640,
+		Rate:               20,
+		Duration:           20 * time.Second,
+		CaseRate:           20,
+		CaseDuration:       20 * time.Second,
+		Repetitions:        3,
+		Hidden:             []int{128, 128, 128},
+		Epochs:             300,
+		StabilityFunctions: 20,
+		StabilityDuration:  2 * time.Minute,
+		Seed:               1,
+	}
+}
+
+// FullScale reproduces the paper's campaign sizes. This is hours of CPU.
+func FullScale() Scale {
+	return Scale{
+		Name:               "full",
+		TrainFunctions:     2000,
+		Rate:               30,
+		Duration:           10 * time.Minute,
+		CaseRate:           10,
+		CaseDuration:       10 * time.Minute,
+		Repetitions:        10,
+		Hidden:             []int{256, 256, 256, 256},
+		Epochs:             200,
+		StabilityFunctions: 50,
+		StabilityDuration:  15 * time.Minute,
+		Seed:               1,
+	}
+}
+
+// ScaleByName resolves "small", "medium", or "full".
+func ScaleByName(name string) (Scale, error) {
+	switch name {
+	case "small":
+		return SmallScale(), nil
+	case "medium":
+		return MediumScale(), nil
+	case "full":
+		return FullScale(), nil
+	default:
+		return Scale{}, fmt.Errorf("experiments: unknown scale %q", name)
+	}
+}
+
+// CaseStudy is one measured application.
+type CaseStudy struct {
+	App apps.App
+	// Measured maps function name → memory size → averaged summary.
+	Measured map[string]map[platform.MemorySize]monitoring.Summary
+}
+
+// MeasuredTimes extracts the mean execution times for one function.
+func (c *CaseStudy) MeasuredTimes(fn string) (map[platform.MemorySize]float64, error) {
+	per, ok := c.Measured[fn]
+	if !ok {
+		return nil, fmt.Errorf("experiments: function %q not measured", fn)
+	}
+	out := make(map[platform.MemorySize]float64, len(per))
+	for m, s := range per {
+		out[m] = s.Mean[monitoring.ExecutionTime]
+	}
+	return out, nil
+}
+
+// Lab owns the shared experiment state.
+type Lab struct {
+	Scale Scale
+
+	mu          sync.Mutex
+	ds          *dataset.Dataset
+	models      map[platform.MemorySize]*core.Model
+	caseStudies []*CaseStudy
+}
+
+// NewLab returns a lab at the given scale.
+func NewLab(scale Scale) *Lab {
+	return &Lab{Scale: scale, models: make(map[platform.MemorySize]*core.Model)}
+}
+
+// harnessOpts builds the dataset-generation harness options.
+func (l *Lab) harnessOpts() harness.Options {
+	return harness.Options{
+		Rate:     l.Scale.Rate,
+		Duration: l.Scale.Duration,
+		Seed:     l.Scale.Seed,
+		Workers:  l.Scale.Workers,
+	}
+}
+
+// Dataset lazily generates and measures the synthetic training dataset.
+func (l *Lab) Dataset() (*dataset.Dataset, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.ds != nil {
+		return l.ds, nil
+	}
+	gen := fngen.New(xrand.New(l.Scale.Seed+1000), fngen.Options{})
+	fns, err := gen.Generate(l.Scale.TrainFunctions)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: generating functions: %w", err)
+	}
+	specs := make([]*workload.Spec, len(fns))
+	for i, fn := range fns {
+		specs[i] = fn.Spec
+	}
+	ds, err := harness.BuildDataset(l.harnessOpts(), specs)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: building dataset: %w", err)
+	}
+	l.ds = ds
+	return ds, nil
+}
+
+// SetDataset injects a pre-built dataset (e.g. loaded from CSV).
+func (l *Lab) SetDataset(ds *dataset.Dataset) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.ds = ds
+	l.models = make(map[platform.MemorySize]*core.Model)
+}
+
+// modelConfig returns the lab's model configuration for a base size.
+func (l *Lab) modelConfig(base platform.MemorySize) core.ModelConfig {
+	cfg := core.DefaultModelConfig(base)
+	cfg.Hidden = l.Scale.Hidden
+	cfg.Epochs = l.Scale.Epochs
+	cfg.Seed = l.Scale.Seed
+	return cfg
+}
+
+// Model lazily trains (and caches) the predictor for a base size.
+func (l *Lab) Model(base platform.MemorySize) (*core.Model, error) {
+	ds, err := l.Dataset()
+	if err != nil {
+		return nil, err
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if m, ok := l.models[base]; ok {
+		return m, nil
+	}
+	m, err := core.Train(ds, l.modelConfig(base))
+	if err != nil {
+		return nil, fmt.Errorf("experiments: training base %v: %w", base, err)
+	}
+	l.models[base] = m
+	return m, nil
+}
+
+// CaseStudies lazily measures the four applications at every memory size
+// with the scale's repetitions, honouring each app's drift.
+func (l *Lab) CaseStudies() ([]*CaseStudy, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.caseStudies != nil {
+		return l.caseStudies, nil
+	}
+	studies := make([]*CaseStudy, 0, 4)
+	for _, app := range apps.All() {
+		env := runtime.NewEnv()
+		env.Drift = app.Drift
+		opts := harness.Options{
+			Env:         env,
+			Rate:        l.Scale.CaseRate,
+			Duration:    l.Scale.CaseDuration,
+			Seed:        l.Scale.Seed + 7,
+			Workers:     l.Scale.Workers,
+			Repetitions: l.Scale.Repetitions,
+		}
+		cs := &CaseStudy{
+			App:      app,
+			Measured: make(map[string]map[platform.MemorySize]monitoring.Summary, len(app.Functions)),
+		}
+		for _, spec := range app.Functions {
+			per := make(map[platform.MemorySize]monitoring.Summary, 6)
+			for _, m := range platform.StandardSizes() {
+				sum, err := harness.MeasureRepeated(opts, spec, m)
+				if err != nil {
+					return nil, fmt.Errorf("experiments: measuring %s/%s at %v: %w", app.Name, spec.Name, m, err)
+				}
+				per[m] = sum
+			}
+			cs.Measured[spec.Name] = per
+		}
+		studies = append(studies, cs)
+	}
+	l.caseStudies = studies
+	return studies, nil
+}

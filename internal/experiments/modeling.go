@@ -1,0 +1,334 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"sizeless/internal/core"
+	"sizeless/internal/features"
+	"sizeless/internal/monitoring"
+	"sizeless/internal/nn"
+	"sizeless/internal/platform"
+)
+
+// FeatureSelectionRound is one SFS round of Fig. 4.
+type FeatureSelectionRound struct {
+	Name string
+	// CandidateNames lists the candidate features of the round.
+	CandidateNames []string
+	// Result carries the selection order and MSE curve.
+	Result features.SelectionResult
+}
+
+// FeatureSelectionResult is the Fig. 4 reproduction: the three sequential
+// forward selection rounds F0→F1, F2→F3, F4.
+type FeatureSelectionResult struct {
+	Rounds []FeatureSelectionRound
+}
+
+// FeatureSelection reproduces the paper's three selection rounds (§3.4):
+// round 1 over the 25 mean metrics (F0), round 2 over the round-1 selection
+// plus relative features (F2), round 3 over the round-2 selection plus
+// std/CoV features (F4).
+func FeatureSelection(lab *Lab, base platform.MemorySize, round1Keep, round2Keep, maxK int) (*FeatureSelectionResult, error) {
+	ds, err := lab.Dataset()
+	if err != nil {
+		return nil, err
+	}
+	cfg := lab.modelConfig(base)
+	// SFS trains hundreds of models; use a reduced network for the inner
+	// evaluator, like any practical SFS implementation.
+	cfg.Hidden = []int{32}
+	cfg.Epochs = min(cfg.Epochs, 60)
+	eval := core.SFSEvaluator(cfg, 3, lab.Scale.Seed+11)
+
+	targets := features.TargetSizes(ds.Sizes, base)
+	y, err := features.Targets(ds, base, targets)
+	if err != nil {
+		return nil, err
+	}
+
+	runRound := func(name string, cands []features.Feature, k int) (FeatureSelectionRound, []features.Feature, error) {
+		x, err := features.Matrix(ds, base, cands)
+		if err != nil {
+			return FeatureSelectionRound{}, nil, err
+		}
+		res, err := features.ForwardSelect(x, y, len(cands), k, eval)
+		if err != nil {
+			return FeatureSelectionRound{}, nil, err
+		}
+		return FeatureSelectionRound{
+			Name:           name,
+			CandidateNames: features.Names(cands),
+			Result:         res,
+		}, cands, nil
+	}
+
+	// Round 1: F0 = all mean metrics.
+	f0 := features.MeanFeatures()
+	r1, _, err := runRound("round1 (F0: means)", f0, maxK)
+	if err != nil {
+		return nil, err
+	}
+	keep1 := r1.Result.Order
+	if round1Keep > 0 && round1Keep < len(keep1) {
+		keep1 = keep1[:round1Keep]
+	}
+	f1 := features.Subset(f0, keep1)
+
+	// Round 2: F2 = F1 + relative features of the F1 metrics.
+	ids := make([]monitoring.MetricID, 0, len(f1))
+	for _, name := range features.Names(f1) {
+		id, err := monitoring.MetricByName(strings.TrimPrefix(name, "mean_"))
+		if err == nil {
+			ids = append(ids, id)
+		}
+	}
+	f2 := append(append([]features.Feature(nil), f1...), features.RelativeFeatures(ids)...)
+	r2, _, err := runRound("round2 (F2: +relative)", f2, maxK)
+	if err != nil {
+		return nil, err
+	}
+	keep2 := r2.Result.Order
+	if round2Keep > 0 && round2Keep < len(keep2) {
+		keep2 = keep2[:round2Keep]
+	}
+	f3 := features.Subset(f2, keep2)
+
+	// Round 3: F4 = F3 + std/CoV of the surviving base metrics.
+	baseIDs := make(map[monitoring.MetricID]bool)
+	for _, name := range features.Names(f3) {
+		trimmed := strings.TrimPrefix(strings.TrimPrefix(name, "mean_"), "rel_")
+		if id, err := monitoring.MetricByName(trimmed); err == nil {
+			baseIDs[id] = true
+		}
+	}
+	f4 := append([]features.Feature(nil), f3...)
+	orderedIDs := make([]monitoring.MetricID, 0, len(baseIDs))
+	for id := range baseIDs {
+		orderedIDs = append(orderedIDs, id)
+	}
+	sort.Slice(orderedIDs, func(i, j int) bool { return orderedIDs[i] < orderedIDs[j] })
+	for _, id := range orderedIDs {
+		f4 = append(f4, features.StdFeature(id), features.CoVFeature(id))
+	}
+	r3, _, err := runRound("round3 (F4: +std/cov)", f4, maxK)
+	if err != nil {
+		return nil, err
+	}
+
+	return &FeatureSelectionResult{Rounds: []FeatureSelectionRound{r1, r2, r3}}, nil
+}
+
+// Render prints the Fig. 4 MSE curves.
+func (r *FeatureSelectionResult) Render() string {
+	var b strings.Builder
+	b.WriteString("Figure 4 — sequential forward feature selection (MSE vs #features)\n\n")
+	for _, round := range r.Rounds {
+		fmt.Fprintf(&b, "%s: best k = %d\n", round.Name, round.Result.BestK)
+		t := newTable("k", "MSE", "added feature")
+		for i, e := range round.Result.Curve {
+			t.addRow(fmt.Sprintf("%d", i+1), fmt.Sprintf("%.5f", e),
+				round.CandidateNames[round.Result.Order[i]])
+		}
+		b.WriteString(t.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// CVTableRow is one Table 3 column (a base size's CV metrics).
+type CVTableRow struct {
+	Base    platform.MemorySize
+	Metrics core.CVMetrics
+}
+
+// CVTableResult is the Table 3 reproduction.
+type CVTableResult struct {
+	Rows []CVTableRow
+	// Recommended is the base size with the best MSE (the paper selects
+	// 256 MB on this criterion).
+	Recommended platform.MemorySize
+}
+
+// CrossValidationTable runs k-fold CV per base memory size (Table 3).
+func CrossValidationTable(lab *Lab, k, iterations int) (*CVTableResult, error) {
+	ds, err := lab.Dataset()
+	if err != nil {
+		return nil, err
+	}
+	res := &CVTableResult{}
+	bestMSE := -1.0
+	for _, base := range platform.StandardSizes() {
+		cfg := lab.modelConfig(base)
+		m, err := core.CrossValidate(ds, cfg, k, iterations, lab.Scale.Seed+17)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: table3 base %v: %w", base, err)
+		}
+		res.Rows = append(res.Rows, CVTableRow{Base: base, Metrics: m})
+		if bestMSE < 0 || m.MSE < bestMSE {
+			bestMSE = m.MSE
+			res.Recommended = base
+		}
+	}
+	return res, nil
+}
+
+// Render prints Table 3.
+func (r *CVTableResult) Render() string {
+	t := newTable("basesize", "MSE", "MAPE", "R2", "ExpVar")
+	for _, row := range r.Rows {
+		t.addRow(row.Base.String(),
+			fmt.Sprintf("%.4f", row.Metrics.MSE),
+			fmt.Sprintf("%.4f", row.Metrics.MAPE),
+			fmt.Sprintf("%.4f", row.Metrics.R2),
+			fmt.Sprintf("%.4f", row.Metrics.ExpVar))
+	}
+	return fmt.Sprintf("Table 3 — cross-validated model quality per base size\n\n%s\nrecommended base size: %v\n",
+		t, r.Recommended)
+}
+
+// GridSearchResult is the Table 2 reproduction.
+type GridSearchResult struct {
+	Grid    core.GridSpec
+	Results []core.GridResult
+}
+
+// GridSearchTable runs the hyperparameter grid search (Table 2). The grid
+// defaults to the paper's full 1296-configuration grid at FullScale and a
+// reduced grid otherwise.
+func GridSearchTable(lab *Lab, grid *core.GridSpec, folds int) (*GridSearchResult, error) {
+	ds, err := lab.Dataset()
+	if err != nil {
+		return nil, err
+	}
+	g := reducedGrid()
+	if grid != nil {
+		g = *grid
+	} else if lab.Scale.Name == "full" {
+		g = core.PaperGrid()
+	}
+	base := lab.modelConfig(platform.Mem256)
+	results, err := core.GridSearch(ds, base, g, folds, lab.Scale.Seed+23)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: table2: %w", err)
+	}
+	return &GridSearchResult{Grid: g, Results: results}, nil
+}
+
+// reducedGrid keeps one axis of variation per hyperparameter around the
+// paper's winning configuration — tractable at small/medium scale.
+func reducedGrid() core.GridSpec {
+	return core.GridSpec{
+		Optimizers: []nn.Optimizer{nn.SGD, nn.Adam},
+		Losses:     []nn.Loss{nn.MSE, nn.MAPE},
+		Epochs:     []int{100},
+		Neurons:    []int{64},
+		L2s:        []float64{0, 0.01},
+		Layers:     []int{2, 4},
+	}
+}
+
+// Render prints the best configurations.
+func (r *GridSearchResult) Render() string {
+	t := newTable("rank", "optimizer", "loss", "epochs", "neurons", "L2", "layers", "MSE", "MAPE")
+	limit := len(r.Results)
+	if limit > 10 {
+		limit = 10
+	}
+	for i := 0; i < limit; i++ {
+		res := r.Results[i]
+		neurons := 0
+		if len(res.Config.Hidden) > 0 {
+			neurons = res.Config.Hidden[0]
+		}
+		t.addRow(fmt.Sprintf("%d", i+1),
+			string(res.Config.Optimizer), string(res.Config.Loss),
+			fmt.Sprintf("%d", res.Config.Epochs),
+			fmt.Sprintf("%d", neurons),
+			fmt.Sprintf("%g", res.Config.L2),
+			fmt.Sprintf("%d", len(res.Config.Hidden)),
+			fmt.Sprintf("%.5f", res.Metrics.MSE),
+			fmt.Sprintf("%.4f", res.Metrics.MAPE))
+	}
+	return fmt.Sprintf("Table 2 — hyperparameter grid search (%d configs, top %d)\n\n%s",
+		r.Grid.Size(), limit, t)
+}
+
+// PDPResult is the Fig. 5 reproduction.
+type PDPResult struct {
+	Base platform.MemorySize
+	PDPs []core.PDP
+}
+
+// PartialDependencePlots computes the PDPs of the six most impactful
+// features for the base-128MB model, as in Fig. 5.
+func PartialDependencePlots(lab *Lab, points int) (*PDPResult, error) {
+	model, err := lab.Model(platform.Mem128)
+	if err != nil {
+		return nil, err
+	}
+	ds, err := lab.Dataset()
+	if err != nil {
+		return nil, err
+	}
+	// The paper's six most impactful features (Fig. 5).
+	names := []string{
+		"rel_userCPUTime",
+		"rel_systemCPUTime",
+		"rel_netByteRx",
+		"mean_heapUsed",
+		"rel_fsWrites",
+		"rel_volContextSwitches",
+	}
+	res := &PDPResult{Base: platform.Mem128}
+	for _, name := range names {
+		idx, err := model.FeatureIndex(name)
+		if err != nil {
+			return nil, err
+		}
+		pdp, err := core.PartialDependence(model, ds, idx, points)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: fig5 %s: %w", name, err)
+		}
+		res.PDPs = append(res.PDPs, pdp)
+	}
+	return res, nil
+}
+
+// Render prints each PDP as a table of speedups per target size.
+func (r *PDPResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 5 — partial dependence (predicted speedup vs scaled feature, base %v)\n\n", r.Base)
+	for _, pdp := range r.PDPs {
+		fmt.Fprintf(&b, "%s (raw range %.3g..%.3g)\n", pdp.FeatureName, pdp.Min, pdp.Max)
+		header := []string{"x"}
+		sizes := make([]platform.MemorySize, 0, len(pdp.Speedup))
+		for m := range pdp.Speedup {
+			sizes = append(sizes, m)
+		}
+		sort.Slice(sizes, func(i, j int) bool { return sizes[i] < sizes[j] })
+		for _, m := range sizes {
+			header = append(header, m.String())
+		}
+		t := newTable(header...)
+		for i, x := range pdp.X {
+			row := []string{fmt.Sprintf("%.2f", x)}
+			for _, m := range sizes {
+				row = append(row, fmt.Sprintf("%.2f", pdp.Speedup[m][i]))
+			}
+			t.addRow(row...)
+		}
+		b.WriteString(t.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,39 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tbl := newTable("name", "value")
+	tbl.addRow("short", "1")
+	tbl.addRow("a-much-longer-name", "12345")
+	out := tbl.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table has %d lines, want 4 (header, separator, 2 rows)", len(lines))
+	}
+	// All rows align: the value column starts at the same offset.
+	idx := strings.Index(lines[0], "value")
+	for i, line := range lines[2:] {
+		if len(line) <= idx {
+			t.Errorf("row %d shorter than header offset", i)
+		}
+	}
+	if !strings.Contains(lines[1], "---") {
+		t.Error("separator row missing")
+	}
+}
+
+func TestPctAndMs(t *testing.T) {
+	if got := pct(0.153); got != "15.3%" {
+		t.Errorf("pct = %q", got)
+	}
+	if got := pct(-0.026); got != "-2.6%" {
+		t.Errorf("pct negative = %q", got)
+	}
+	if got := ms(123.456); got != "123.5ms" {
+		t.Errorf("ms = %q", got)
+	}
+}

@@ -1,0 +1,220 @@
+// Package harness is the Go measurement harness of paper §3.3: it deploys
+// functions at each memory size, drives them with a Poisson load schedule,
+// aggregates the monitored metrics, and parallelizes the (function ×
+// memory-size) experiment grid across workers — the role the paper's
+// Vegeta-based harness plays against real AWS.
+//
+// Determinism: every experiment derives its own random stream from the root
+// seed plus (function, memory) identity, so results are bit-identical
+// regardless of worker count or scheduling order.
+package harness
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"sizeless/internal/dataset"
+	"sizeless/internal/lambda"
+	"sizeless/internal/loadgen"
+	"sizeless/internal/monitoring"
+	"sizeless/internal/platform"
+	rt "sizeless/internal/runtime"
+	"sizeless/internal/workload"
+	"sizeless/internal/xrand"
+)
+
+// Options configures a measurement campaign.
+type Options struct {
+	// Env is the simulated platform/services environment. Nil = defaults.
+	// The environment must not be mutated while a campaign runs.
+	Env *rt.Env
+	// Rate is the request rate in req/s (paper: 30).
+	Rate float64
+	// Duration is the per-experiment measurement window (paper: 10 min).
+	Duration time.Duration
+	// Sizes is the memory grid (paper: the six standard sizes).
+	Sizes []platform.MemorySize
+	// Seed is the root seed for all derived randomness.
+	Seed int64
+	// Workers bounds experiment parallelism (default: GOMAXPROCS).
+	Workers int
+	// Repetitions: how many independent measurement repetitions to run and
+	// average (the case studies use 10, §4). Default 1.
+	Repetitions int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Env == nil {
+		o.Env = rt.NewEnv()
+	}
+	if o.Rate <= 0 {
+		o.Rate = 30
+	}
+	if o.Duration <= 0 {
+		o.Duration = 10 * time.Minute
+	}
+	if o.Sizes == nil {
+		o.Sizes = platform.StandardSizes()
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.Repetitions <= 0 {
+		o.Repetitions = 1
+	}
+	return o
+}
+
+// Measure runs one experiment: spec at memory size m under the campaign's
+// load, returning the aggregated summary. rep distinguishes measurement
+// repetitions.
+func Measure(opts Options, spec *workload.Spec, m platform.MemorySize, rep int) (monitoring.Summary, lambda.Result, error) {
+	opts = opts.withDefaults()
+	root := xrand.New(opts.Seed)
+	expName := fmt.Sprintf("%s@%v#rep%d", spec.Name, m, rep)
+
+	sched, err := loadgen.Poisson(opts.Rate, opts.Duration, root.Derive("sched/"+expName))
+	if err != nil {
+		return monitoring.Summary{}, lambda.Result{}, err
+	}
+	acc := monitoring.NewAccumulator()
+	dep, err := lambda.NewDeployment(opts.Env, spec, m, acc, root.Derive("dep/"+expName))
+	if err != nil {
+		return monitoring.Summary{}, lambda.Result{}, err
+	}
+	res, err := dep.Run(sched)
+	if err != nil {
+		return monitoring.Summary{}, lambda.Result{}, err
+	}
+	sum, err := acc.Summary()
+	if err != nil {
+		return monitoring.Summary{}, lambda.Result{}, err
+	}
+	return sum, res, nil
+}
+
+// MeasureRepeated runs opts.Repetitions independent repetitions of the
+// experiment and averages the summaries (randomized multiple interleaved
+// trials in the paper reduce cloud variability the same way, §4).
+func MeasureRepeated(opts Options, spec *workload.Spec, m platform.MemorySize) (monitoring.Summary, error) {
+	opts = opts.withDefaults()
+	sums := make([]monitoring.Summary, 0, opts.Repetitions)
+	for rep := 0; rep < opts.Repetitions; rep++ {
+		s, _, err := Measure(opts, spec, m, rep)
+		if err != nil {
+			return monitoring.Summary{}, err
+		}
+		sums = append(sums, s)
+	}
+	return averageSummaries(sums), nil
+}
+
+func averageSummaries(sums []monitoring.Summary) monitoring.Summary {
+	var out monitoring.Summary
+	if len(sums) == 0 {
+		return out
+	}
+	for _, s := range sums {
+		out.N += s.N
+		out.ColdStarts += s.ColdStarts
+		out.Mean.Add(&s.Mean)
+		out.Std.Add(&s.Std)
+		out.CoV.Add(&s.CoV)
+	}
+	f := 1 / float64(len(sums))
+	out.Mean.Scale(f)
+	out.Std.Scale(f)
+	out.CoV.Scale(f)
+	return out
+}
+
+// job identifies one experiment in the campaign grid.
+type job struct {
+	rowIdx int
+	spec   *workload.Spec
+	mem    platform.MemorySize
+}
+
+// BuildDataset measures every spec at every size (with repetitions) in
+// parallel and assembles the training dataset. Function hashes are taken
+// from the specs' behaviour hash.
+func BuildDataset(opts Options, specs []*workload.Spec) (*dataset.Dataset, error) {
+	opts = opts.withDefaults()
+	if len(specs) == 0 {
+		return nil, errors.New("harness: no specs to measure")
+	}
+
+	ds := dataset.New(opts.Sizes)
+	ds.Rows = make([]dataset.Row, len(specs))
+	for i, spec := range specs {
+		ds.Rows[i] = dataset.Row{
+			FunctionID: spec.Name,
+			Hash:       spec.Hash(),
+			Summaries:  make(map[platform.MemorySize]monitoring.Summary, len(opts.Sizes)),
+		}
+	}
+
+	jobs := make(chan job)
+	var mu sync.Mutex
+	var firstErr error
+	var wg sync.WaitGroup
+	for w := 0; w < opts.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				sum, err := MeasureRepeated(opts, j.spec, j.mem)
+				mu.Lock()
+				if err != nil {
+					if firstErr == nil {
+						firstErr = fmt.Errorf("harness: %s at %v: %w", j.spec.Name, j.mem, err)
+					}
+				} else {
+					ds.Rows[j.rowIdx].Summaries[j.mem] = sum
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	for i, spec := range specs {
+		for _, m := range opts.Sizes {
+			jobs <- job{rowIdx: i, spec: spec, mem: m}
+		}
+	}
+	close(jobs)
+	wg.Wait()
+
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if err := ds.Validate(); err != nil {
+		return nil, err
+	}
+	return ds, nil
+}
+
+// Trace runs one experiment retaining every invocation — the input to the
+// metric-stability analysis (paper Fig. 3), which needs raw per-request
+// samples rather than aggregates.
+func Trace(opts Options, spec *workload.Spec, m platform.MemorySize) ([]monitoring.Invocation, error) {
+	opts = opts.withDefaults()
+	root := xrand.New(opts.Seed)
+	expName := fmt.Sprintf("%s@%v#trace", spec.Name, m)
+
+	sched, err := loadgen.Poisson(opts.Rate, opts.Duration, root.Derive("sched/"+expName))
+	if err != nil {
+		return nil, err
+	}
+	store := monitoring.NewMemoryStore()
+	dep, err := lambda.NewDeployment(opts.Env, spec, m, store, root.Derive("dep/"+expName))
+	if err != nil {
+		return nil, err
+	}
+	if _, err := dep.Run(sched); err != nil {
+		return nil, err
+	}
+	return store.Invocations(spec.Name), nil
+}

@@ -1,0 +1,186 @@
+// Package lambda simulates the function-instance lifecycle of a FaaS
+// platform: warm pools, cold starts, keep-alive reclamation, and the
+// account concurrency limit. It drives runtime instances over a loadgen
+// schedule and feeds every invocation through the monitoring wrapper —
+// the simulated counterpart of deploying a monitored function and pointing
+// a load driver at it (paper §3.3).
+package lambda
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"sizeless/internal/loadgen"
+	"sizeless/internal/monitoring"
+	"sizeless/internal/platform"
+	"sizeless/internal/runtime"
+	"sizeless/internal/workload"
+	"sizeless/internal/xrand"
+)
+
+// instanceState tracks one instance in the warm pool.
+type instanceState struct {
+	inst      *runtime.Instance
+	monitor   *monitoring.Monitor
+	busyUntil time.Duration
+	lastUsed  time.Duration
+}
+
+// Deployment is one function deployed at one memory size.
+type Deployment struct {
+	env   *runtime.Env
+	spec  *workload.Spec
+	mem   platform.MemorySize
+	store monitoring.Store
+	rng   *xrand.Stream
+
+	pool      []*instanceState
+	nextID    int
+	wrapperMs float64
+}
+
+// Result summarizes one schedule run.
+type Result struct {
+	// Invocations served (cold + warm).
+	Invocations int
+	// ColdStarts is how many invocations created a new instance.
+	ColdStarts int
+	// Throttled counts arrivals rejected by the concurrency limit.
+	Throttled int
+	// MaxConcurrency is the peak simultaneous instance count.
+	MaxConcurrency int
+}
+
+// ErrNoStore is returned when the deployment has no monitoring sink.
+var ErrNoStore = errors.New("lambda: deployment needs a monitoring store")
+
+// NewDeployment deploys spec at memory size mem. Every invocation's metric
+// vector is appended to store. The rng stream must be unique per
+// deployment for deterministic parallel experiments.
+func NewDeployment(env *runtime.Env, spec *workload.Spec, mem platform.MemorySize, store monitoring.Store, rng *xrand.Stream) (*Deployment, error) {
+	if store == nil {
+		return nil, ErrNoStore
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, fmt.Errorf("lambda: %w", err)
+	}
+	if !mem.Valid() {
+		return nil, fmt.Errorf("lambda: invalid memory size %v", mem)
+	}
+	return &Deployment{
+		env:   env,
+		spec:  spec,
+		mem:   mem,
+		store: store,
+		rng:   rng,
+		// The wrapper-style monitor adds a small overhead to instance busy
+		// time (polling metrics + DynamoDB write). It does NOT affect the
+		// measured inner execution time (paper §3.2).
+		wrapperMs: 2.0,
+	}, nil
+}
+
+// Run processes the schedule in arrival order and returns aggregate
+// statistics. Per-invocation data lands in the deployment's store.
+func (d *Deployment) Run(schedule loadgen.Schedule) (Result, error) {
+	arrivals := append(loadgen.Schedule(nil), schedule...)
+	sort.Slice(arrivals, func(i, j int) bool { return arrivals[i] < arrivals[j] })
+
+	var res Result
+	cfg := d.env.Platform
+	for _, t := range arrivals {
+		d.reap(t, cfg.KeepAlive)
+
+		st := d.findWarm(t)
+		cold := false
+		start := t
+		if st == nil {
+			if cfg.ConcurrencyLimit > 0 && len(d.pool) >= cfg.ConcurrencyLimit {
+				res.Throttled++
+				continue
+			}
+			var err error
+			st, err = d.spawn()
+			if err != nil {
+				return res, err
+			}
+			cold = true
+			// Cold start delays the handler start; init CPU lands outside
+			// the monitor's diff window because RunInit advances counters
+			// before Record snapshots them.
+			start = t + st.inst.RunInit()
+		}
+
+		inv, err := st.monitor.Record(start, cold, func() (time.Duration, monitoring.LagSample, error) {
+			return st.inst.Invoke()
+		})
+		if err != nil {
+			return res, fmt.Errorf("lambda: invocation at %v: %w", t, err)
+		}
+		st.busyUntil = start + inv.Duration + time.Duration(d.wrapperMs*float64(time.Millisecond))
+		st.lastUsed = st.busyUntil
+		res.Invocations++
+		if cold {
+			res.ColdStarts++
+		}
+		if len(d.pool) > res.MaxConcurrency {
+			res.MaxConcurrency = len(d.pool)
+		}
+	}
+	return res, nil
+}
+
+// findWarm returns an idle warm instance at time t, preferring the most
+// recently used one (Lambda routes to warm sandboxes LIFO, which lets idle
+// instances age out).
+func (d *Deployment) findWarm(t time.Duration) *instanceState {
+	var best *instanceState
+	for _, st := range d.pool {
+		if st.busyUntil > t {
+			continue
+		}
+		if best == nil || st.lastUsed > best.lastUsed {
+			best = st
+		}
+	}
+	return best
+}
+
+// reap removes instances idle beyond the keep-alive window.
+func (d *Deployment) reap(t time.Duration, keepAlive time.Duration) {
+	if keepAlive <= 0 {
+		return
+	}
+	kept := d.pool[:0]
+	for _, st := range d.pool {
+		if st.busyUntil <= t && t-st.lastUsed > keepAlive {
+			continue
+		}
+		kept = append(kept, st)
+	}
+	d.pool = kept
+}
+
+// spawn creates a fresh (cold) instance.
+func (d *Deployment) spawn() (*instanceState, error) {
+	inst, err := runtime.NewInstance(d.env, d.spec, d.mem, d.rng.DeriveIndexed("instance", d.nextID))
+	if err != nil {
+		return nil, err
+	}
+	d.nextID++
+	st := &instanceState{
+		inst: inst,
+		monitor: &monitoring.Monitor{
+			FunctionID: d.spec.Name,
+			Probe:      inst,
+			Store:      d.store,
+		},
+	}
+	d.pool = append(d.pool, st)
+	return st, nil
+}
+
+// PoolSize returns the current number of live instances.
+func (d *Deployment) PoolSize() int { return len(d.pool) }

@@ -1,0 +1,73 @@
+// Package loadgen generates open-loop request arrival schedules in virtual
+// time — the role Vegeta plays in the paper's measurement harness (§3.3).
+// The dataset-generation workload is "30 requests per second with an
+// exponentially distributed inter-arrival time", i.e. a Poisson process.
+package loadgen
+
+import (
+	"errors"
+	"time"
+
+	"sizeless/internal/xrand"
+)
+
+// Schedule is an ascending sequence of arrival offsets from experiment
+// start.
+type Schedule []time.Duration
+
+// ErrBadRate is returned for non-positive rates or durations.
+var ErrBadRate = errors.New("loadgen: rate and duration must be positive")
+
+// Poisson returns an open-loop schedule with exponentially distributed
+// inter-arrival times at the given rate (requests/second) over the given
+// experiment duration.
+func Poisson(rate float64, duration time.Duration, rng *xrand.Stream) (Schedule, error) {
+	if rate <= 0 || duration <= 0 {
+		return nil, ErrBadRate
+	}
+	meanGap := float64(time.Second) / rate
+	sched := make(Schedule, 0, int(float64(duration)/meanGap)+16)
+	t := time.Duration(rng.Exponential(meanGap))
+	for t < duration {
+		sched = append(sched, t)
+		t += time.Duration(rng.Exponential(meanGap))
+	}
+	return sched, nil
+}
+
+// Constant returns a deterministic constant-rate schedule (Vegeta's default
+// pacing), useful for tests that need exact arrival counts.
+func Constant(rate float64, duration time.Duration) (Schedule, error) {
+	if rate <= 0 || duration <= 0 {
+		return nil, ErrBadRate
+	}
+	gap := time.Duration(float64(time.Second) / rate)
+	sched := make(Schedule, 0, int(duration/gap)+1)
+	for t := time.Duration(0); t < duration; t += gap {
+		sched = append(sched, t)
+	}
+	return sched, nil
+}
+
+// Burst prepends `size` simultaneous arrivals at time zero to a schedule —
+// the cold-start-storm scenario used in failure-injection tests.
+func Burst(size int, rest Schedule) Schedule {
+	out := make(Schedule, 0, size+len(rest))
+	for i := 0; i < size; i++ {
+		out = append(out, 0)
+	}
+	return append(out, rest...)
+}
+
+// Rate estimates the average request rate of the schedule in requests per
+// second. It returns 0 for schedules with fewer than two arrivals.
+func (s Schedule) Rate() float64 {
+	if len(s) < 2 {
+		return 0
+	}
+	span := s[len(s)-1] - s[0]
+	if span <= 0 {
+		return 0
+	}
+	return float64(len(s)-1) / span.Seconds()
+}

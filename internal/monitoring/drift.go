@@ -1,0 +1,101 @@
+package monitoring
+
+import (
+	"errors"
+
+	"sizeless/internal/stats"
+)
+
+// DriftReport describes how a function's behaviour shifted between two
+// observation windows. Paper §5 notes that workload shifts (burstier
+// traffic, larger payloads) change the resource-consumption metrics, and
+// that the model can simply be re-applied to the new monitoring data; this
+// detector decides *when* that re-application is warranted.
+type DriftReport struct {
+	// Shifted lists metrics whose distribution changed significantly
+	// (Mann-Whitney U rejects same-distribution) with a non-negligible
+	// effect size (|Cliff's delta| ≥ threshold).
+	Shifted []MetricShift
+	// Checked is the number of metrics tested.
+	Checked int
+}
+
+// MetricShift is one significantly shifted metric.
+type MetricShift struct {
+	Metric MetricID
+	// Delta is Cliff's delta between the new and old windows: positive
+	// means the metric increased.
+	Delta float64
+	// P is the Mann-Whitney two-sided p-value.
+	P float64
+}
+
+// Drifted reports whether any metric shifted.
+func (r DriftReport) Drifted() bool { return len(r.Shifted) > 0 }
+
+// DriftDetectorConfig tunes the detector.
+type DriftDetectorConfig struct {
+	// Alpha is the Mann-Whitney significance level (default 0.01 — the
+	// detector sees many samples, so it can afford to be strict).
+	Alpha float64
+	// MinDelta is the minimum |Cliff's delta| to count as a shift
+	// (default 0.147, the "small effect" threshold) — statistically
+	// significant but negligible changes are ignored, exactly as the
+	// paper treats the one-minute stability differences (§3.3).
+	MinDelta float64
+	// Metrics restricts the test to these metrics (default: the six
+	// base metrics the model consumes, plus execution time).
+	Metrics []MetricID
+}
+
+func (c DriftDetectorConfig) withDefaults() DriftDetectorConfig {
+	if c.Alpha <= 0 {
+		c.Alpha = 0.01
+	}
+	if c.MinDelta <= 0 {
+		c.MinDelta = 0.147
+	}
+	if c.Metrics == nil {
+		c.Metrics = []MetricID{
+			ExecutionTime, UserCPUTime, SystemCPUTime,
+			VolCtxSwitches, FSWrites, BytesReceived, HeapUsed,
+		}
+	}
+	return c
+}
+
+// ErrWindowTooSmall is returned when either window has too few samples for
+// the normal-approximation U test to be trustworthy.
+var ErrWindowTooSmall = errors.New("monitoring: drift windows need at least 20 samples each")
+
+// DetectDrift compares an old and a new observation window of the same
+// function at the same memory size and reports which model-relevant metrics
+// shifted. A drifted report means the memory-size recommendation should be
+// recomputed from the new window's summary.
+func DetectDrift(oldWindow, newWindow []Invocation, cfg DriftDetectorConfig) (DriftReport, error) {
+	cfg = cfg.withDefaults()
+	if len(oldWindow) < 20 || len(newWindow) < 20 {
+		return DriftReport{}, ErrWindowTooSmall
+	}
+	report := DriftReport{Checked: len(cfg.Metrics)}
+	for _, id := range cfg.Metrics {
+		oldS := MetricSamples(oldWindow, id)
+		newS := MetricSamples(newWindow, id)
+		res, err := stats.MannWhitneyU(newS, oldS)
+		if err != nil {
+			return DriftReport{}, err
+		}
+		if res.P >= cfg.Alpha {
+			continue
+		}
+		delta, err := stats.CliffsDelta(newS, oldS)
+		if err != nil {
+			return DriftReport{}, err
+		}
+		if delta < cfg.MinDelta && delta > -cfg.MinDelta {
+			continue
+		}
+		report.Shifted = append(report.Shifted, MetricShift{Metric: id, Delta: delta, P: res.P})
+	}
+	return report, nil
+}

@@ -1,0 +1,89 @@
+package monitoring
+
+import (
+	"errors"
+	"time"
+
+	"sizeless/internal/stats"
+)
+
+// Summary aggregates many invocations of one function at one memory size
+// into per-metric statistics — the representation the regression model
+// consumes (paper §3.4 uses mean, standard deviation, and coefficient of
+// variation per metric).
+type Summary struct {
+	// N is the number of aggregated invocations.
+	N int
+	// ColdStarts counts invocations that paid a cold start.
+	ColdStarts int
+	// Mean, Std and CoV hold the per-metric statistics over all samples.
+	Mean Vector
+	Std  Vector
+	CoV  Vector
+}
+
+// MeanExecutionTime returns the mean execution time as a duration.
+func (s Summary) MeanExecutionTime() time.Duration {
+	return time.Duration(s.Mean[ExecutionTime] * float64(time.Millisecond))
+}
+
+// ErrNoSamples is returned when summarizing zero invocations.
+var ErrNoSamples = errors.New("monitoring: no samples to summarize")
+
+// Summarize aggregates invocations into a Summary.
+func Summarize(invs []Invocation) (Summary, error) {
+	if len(invs) == 0 {
+		return Summary{}, ErrNoSamples
+	}
+	var sum Summary
+	sum.N = len(invs)
+	samples := make([]float64, len(invs))
+	for id := 0; id < NumMetrics; id++ {
+		for i, inv := range invs {
+			samples[i] = inv.Metrics[MetricID(id)]
+		}
+		sum.Mean[id] = stats.Mean(samples)
+		sum.Std[id] = stats.StdDev(samples)
+		sum.CoV[id] = stats.CoV(samples)
+	}
+	for _, inv := range invs {
+		if inv.ColdStart {
+			sum.ColdStarts++
+		}
+	}
+	return sum, nil
+}
+
+// MetricSamples extracts the raw per-invocation series for one metric, in
+// invocation order — the input to the stability analysis (paper Fig. 3).
+func MetricSamples(invs []Invocation, id MetricID) []float64 {
+	out := make([]float64, len(invs))
+	for i, inv := range invs {
+		out[i] = inv.Metrics[id]
+	}
+	return out
+}
+
+// FilterWarm drops cold-start invocations. The dataset-generation harness
+// aggregates warm executions only, because cold starts mix platform
+// provisioning time into the execution-time signal.
+func FilterWarm(invs []Invocation) []Invocation {
+	warm := make([]Invocation, 0, len(invs))
+	for _, inv := range invs {
+		if !inv.ColdStart {
+			warm = append(warm, inv)
+		}
+	}
+	return warm
+}
+
+// Window returns the invocations whose start time falls in [from, to).
+func Window(invs []Invocation, from, to time.Duration) []Invocation {
+	out := make([]Invocation, 0, len(invs))
+	for _, inv := range invs {
+		if inv.Start >= from && inv.Start < to {
+			out = append(out, inv)
+		}
+	}
+	return out
+}

@@ -1,0 +1,41 @@
+package nn
+
+import (
+	"errors"
+	"fmt"
+)
+
+// SetFrozenLayers freezes the first k layers: their weights and biases stop
+// receiving optimizer updates while gradients still flow through them to
+// earlier computations. This implements the transfer-learning scheme the
+// paper proposes in §5 for adapting the model to platform changes without
+// regenerating the full training dataset: freeze the initial layers,
+// retrain the rest on a much smaller new dataset.
+func (n *Network) SetFrozenLayers(k int) error {
+	if k < 0 || k > len(n.layers) {
+		return fmt.Errorf("nn: cannot freeze %d of %d layers", k, len(n.layers))
+	}
+	n.frozen = k
+	return nil
+}
+
+// FrozenLayers returns the number of currently frozen layers.
+func (n *Network) FrozenLayers() int { return n.frozen }
+
+// TrainEpochs continues training from the current weights for the given
+// number of epochs (respecting frozen layers) and returns the mean training
+// loss of the final epoch. Unlike Train, it does not reset any state — call
+// it repeatedly for staged training schedules.
+func (n *Network) TrainEpochs(x, y [][]float64, epochs int) (float64, error) {
+	if epochs <= 0 {
+		return 0, errors.New("nn: epochs must be positive")
+	}
+	saved := n.cfg.Epochs
+	n.cfg.Epochs = epochs
+	loss, err := n.Train(x, y)
+	n.cfg.Epochs = saved
+	return loss, err
+}
+
+// LayerCount returns the number of trainable layers (hidden + output).
+func (n *Network) LayerCount() int { return len(n.layers) }

@@ -1,0 +1,91 @@
+package nn
+
+import (
+	"testing"
+)
+
+func TestSetFrozenLayersValidation(t *testing.T) {
+	net, err := New(Config{Inputs: 2, Outputs: 1, Hidden: []int{4, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := net.LayerCount(); got != 3 {
+		t.Fatalf("LayerCount = %d, want 3 (2 hidden + output)", got)
+	}
+	if err := net.SetFrozenLayers(-1); err == nil {
+		t.Error("negative freeze should error")
+	}
+	if err := net.SetFrozenLayers(4); err == nil {
+		t.Error("freezing more layers than exist should error")
+	}
+	if err := net.SetFrozenLayers(2); err != nil {
+		t.Errorf("valid freeze rejected: %v", err)
+	}
+	if got := net.FrozenLayers(); got != 2 {
+		t.Errorf("FrozenLayers = %d, want 2", got)
+	}
+}
+
+func TestFrozenLayersDoNotUpdate(t *testing.T) {
+	x, y := makeLinearData(100, 3, 1, 21)
+	net, err := New(Config{Inputs: 3, Outputs: 1, Hidden: []int{8, 8}, Epochs: 20, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.Train(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.SetFrozenLayers(1); err != nil {
+		t.Fatal(err)
+	}
+
+	// Snapshot the frozen layer's weights and a trainable layer's weights.
+	frozenBefore := append([]float64(nil), net.layers[0].w[0]...)
+	trainableBefore := append([]float64(nil), net.layers[2].w[0]...)
+
+	if _, err := net.TrainEpochs(x, y, 10); err != nil {
+		t.Fatal(err)
+	}
+
+	for i, w := range net.layers[0].w[0] {
+		if w != frozenBefore[i] {
+			t.Fatalf("frozen layer weight changed at %d: %v -> %v", i, frozenBefore[i], w)
+		}
+	}
+	changed := false
+	for i, w := range net.layers[2].w[0] {
+		if w != trainableBefore[i] {
+			changed = true
+			_ = i
+		}
+	}
+	if !changed {
+		t.Error("trainable layer weights did not change")
+	}
+}
+
+func TestTrainEpochsContinues(t *testing.T) {
+	x, y := makeLinearData(150, 3, 1, 22)
+	net, err := New(Config{Inputs: 3, Outputs: 1, Hidden: []int{16}, Epochs: 10, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := net.Train(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := net.TrainEpochs(x, y, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second >= first {
+		t.Errorf("continued training should reduce loss: %v -> %v", first, second)
+	}
+	// Epochs config is restored.
+	if net.Config().Epochs != 10 {
+		t.Errorf("TrainEpochs should not mutate config epochs: %d", net.Config().Epochs)
+	}
+	if _, err := net.TrainEpochs(x, y, 0); err == nil {
+		t.Error("zero epochs should error")
+	}
+}

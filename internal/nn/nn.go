@@ -1,0 +1,460 @@
+// Package nn implements the feed-forward neural network behind the paper's
+// multi-target regression model (§3.4) from scratch on the standard
+// library: dense layers with ReLU activations, SGD/Adam/Adagrad optimizers,
+// MSE/MAE/MAPE losses, and L2 weight regularization — the exact menu the
+// paper's hyperparameter grid search explores (Table 2).
+//
+// The final paper configuration is four hidden layers of 256 neurons,
+// Adam, MAPE loss, 200 epochs, and L2 = 0.01.
+package nn
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"sizeless/internal/xrand"
+)
+
+// Optimizer selects the gradient-descent variant (Table 2 row "Optimizer").
+type Optimizer string
+
+// Supported optimizers.
+const (
+	SGD     Optimizer = "sgd"
+	Adam    Optimizer = "adam"
+	Adagrad Optimizer = "adagrad"
+)
+
+// Loss selects the training objective (Table 2 row "Loss").
+type Loss string
+
+// Supported losses.
+const (
+	MSE  Loss = "mse"
+	MAE  Loss = "mae"
+	MAPE Loss = "mape"
+)
+
+// Config describes a network.
+type Config struct {
+	// Inputs and Outputs are the feature and target dimensionalities.
+	Inputs  int
+	Outputs int
+	// Hidden lists the hidden-layer widths (paper final: 4 × 256).
+	Hidden []int
+	// Optimizer, Loss, L2, Epochs: the Table-2 hyperparameters.
+	Optimizer Optimizer
+	Loss      Loss
+	L2        float64
+	Epochs    int
+	// LearningRate defaults to 0.001 for Adam/Adagrad and 0.01 for SGD.
+	LearningRate float64
+	// BatchSize defaults to 32.
+	BatchSize int
+	// Seed drives weight initialization and batch shuffling.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.LearningRate <= 0 {
+		switch c.Optimizer {
+		case SGD:
+			c.LearningRate = 0.01
+		case Adagrad:
+			// Adagrad's accumulating denominator needs a larger base rate.
+			c.LearningRate = 0.05
+		default:
+			c.LearningRate = 0.001
+		}
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 32
+	}
+	if c.Epochs <= 0 {
+		c.Epochs = 200
+	}
+	if c.Optimizer == "" {
+		c.Optimizer = Adam
+	}
+	if c.Loss == "" {
+		c.Loss = MSE
+	}
+	return c
+}
+
+func (c Config) validate() error {
+	if c.Inputs <= 0 || c.Outputs <= 0 {
+		return errors.New("nn: inputs and outputs must be positive")
+	}
+	for _, h := range c.Hidden {
+		if h <= 0 {
+			return errors.New("nn: hidden layer width must be positive")
+		}
+	}
+	switch c.Optimizer {
+	case SGD, Adam, Adagrad:
+	default:
+		return fmt.Errorf("nn: unknown optimizer %q", c.Optimizer)
+	}
+	switch c.Loss {
+	case MSE, MAE, MAPE:
+	default:
+		return fmt.Errorf("nn: unknown loss %q", c.Loss)
+	}
+	if c.L2 < 0 {
+		return errors.New("nn: negative L2")
+	}
+	return nil
+}
+
+// dense is one fully connected layer.
+type dense struct {
+	in, out int
+	w       [][]float64 // [out][in]
+	b       []float64   // [out]
+	relu    bool        // apply ReLU after affine (hidden layers only)
+
+	// optimizer state
+	mW, vW [][]float64
+	mB, vB []float64
+}
+
+func newDense(in, out int, relu bool, rng *xrand.Stream) *dense {
+	d := &dense{in: in, out: out, relu: relu}
+	d.w = make([][]float64, out)
+	d.mW = make([][]float64, out)
+	d.vW = make([][]float64, out)
+	// He initialization, appropriate for ReLU networks.
+	scale := math.Sqrt(2.0 / float64(in))
+	for o := 0; o < out; o++ {
+		d.w[o] = make([]float64, in)
+		d.mW[o] = make([]float64, in)
+		d.vW[o] = make([]float64, in)
+		for i := 0; i < in; i++ {
+			d.w[o][i] = rng.NormFloat64() * scale
+		}
+	}
+	d.b = make([]float64, out)
+	d.mB = make([]float64, out)
+	d.vB = make([]float64, out)
+	return d
+}
+
+// forward computes the layer output, also returning the pre-activation z
+// needed by backprop.
+func (d *dense) forward(x []float64) (a, z []float64) {
+	z = make([]float64, d.out)
+	for o := 0; o < d.out; o++ {
+		s := d.b[o]
+		w := d.w[o]
+		for i, xv := range x {
+			s += w[i] * xv
+		}
+		z[o] = s
+	}
+	if !d.relu {
+		return z, z
+	}
+	a = make([]float64, d.out)
+	for o, v := range z {
+		if v > 0 {
+			a[o] = v
+		}
+	}
+	return a, z
+}
+
+// Network is a trained or trainable MLP.
+type Network struct {
+	cfg    Config
+	layers []*dense
+	step   int // Adam timestep
+	frozen int // first `frozen` layers receive no updates
+}
+
+// New constructs a network with randomly initialized weights.
+func New(cfg Config) (*Network, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	rng := xrand.New(cfg.Seed).Derive("nn-init")
+	sizes := append([]int{cfg.Inputs}, cfg.Hidden...)
+	sizes = append(sizes, cfg.Outputs)
+	n := &Network{cfg: cfg}
+	for l := 0; l+1 < len(sizes); l++ {
+		relu := l+2 < len(sizes) // all but the output layer
+		n.layers = append(n.layers, newDense(sizes[l], sizes[l+1], relu, rng))
+	}
+	return n, nil
+}
+
+// Config returns the network's configuration.
+func (n *Network) Config() Config { return n.cfg }
+
+// Predict runs a forward pass for one sample.
+func (n *Network) Predict(x []float64) ([]float64, error) {
+	if len(x) != n.cfg.Inputs {
+		return nil, fmt.Errorf("nn: input has %d features, network expects %d", len(x), n.cfg.Inputs)
+	}
+	a := x
+	for _, l := range n.layers {
+		a, _ = l.forward(a)
+	}
+	return a, nil
+}
+
+// PredictBatch runs forward passes for many samples.
+func (n *Network) PredictBatch(xs [][]float64) ([][]float64, error) {
+	out := make([][]float64, len(xs))
+	for i, x := range xs {
+		p, err := n.Predict(x)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = p
+	}
+	return out, nil
+}
+
+// lossAndGrad returns the per-sample loss and dL/dpred.
+func (n *Network) lossAndGrad(pred, truth []float64) (float64, []float64) {
+	grad := make([]float64, len(pred))
+	var loss float64
+	const eps = 1e-8
+	k := float64(len(pred))
+	switch n.cfg.Loss {
+	case MSE:
+		for i := range pred {
+			d := pred[i] - truth[i]
+			loss += d * d
+			grad[i] = 2 * d / k
+		}
+		loss /= k
+	case MAE:
+		for i := range pred {
+			d := pred[i] - truth[i]
+			loss += math.Abs(d)
+			grad[i] = sign(d) / k
+		}
+		loss /= k
+	case MAPE:
+		for i := range pred {
+			denom := math.Abs(truth[i])
+			if denom < eps {
+				denom = eps
+			}
+			d := pred[i] - truth[i]
+			loss += math.Abs(d) / denom
+			grad[i] = sign(d) / denom / k
+		}
+		loss /= k
+	}
+	return loss, grad
+}
+
+// Train fits the network to (X, Y) and returns the mean training loss of
+// the final epoch.
+func (n *Network) Train(x, y [][]float64) (float64, error) {
+	if len(x) == 0 || len(x) != len(y) {
+		return 0, errors.New("nn: empty or mismatched training data")
+	}
+	for i := range x {
+		if len(x[i]) != n.cfg.Inputs {
+			return 0, fmt.Errorf("nn: sample %d has %d features, want %d", i, len(x[i]), n.cfg.Inputs)
+		}
+		if len(y[i]) != n.cfg.Outputs {
+			return 0, fmt.Errorf("nn: target %d has %d values, want %d", i, len(y[i]), n.cfg.Outputs)
+		}
+	}
+	rng := xrand.New(n.cfg.Seed).Derive("nn-shuffle")
+	var lastLoss float64
+	for epoch := 0; epoch < n.cfg.Epochs; epoch++ {
+		perm := rng.Perm(len(x))
+		var epochLoss float64
+		for start := 0; start < len(perm); start += n.cfg.BatchSize {
+			end := start + n.cfg.BatchSize
+			if end > len(perm) {
+				end = len(perm)
+			}
+			batch := perm[start:end]
+			epochLoss += n.trainBatch(x, y, batch)
+		}
+		lastLoss = epochLoss / float64(len(x))
+	}
+	return lastLoss, nil
+}
+
+// trainBatch accumulates gradients over the batch and applies one optimizer
+// step. Returns the summed sample loss.
+func (n *Network) trainBatch(x, y [][]float64, batch []int) float64 {
+	gradW := make([][][]float64, len(n.layers))
+	gradB := make([][]float64, len(n.layers))
+	for li, l := range n.layers {
+		gradW[li] = make([][]float64, l.out)
+		for o := range gradW[li] {
+			gradW[li][o] = make([]float64, l.in)
+		}
+		gradB[li] = make([]float64, l.out)
+	}
+
+	var total float64
+	for _, idx := range batch {
+		// Forward, retaining activations and pre-activations.
+		acts := make([][]float64, len(n.layers)+1)
+		zs := make([][]float64, len(n.layers))
+		acts[0] = x[idx]
+		for li, l := range n.layers {
+			a, z := l.forward(acts[li])
+			acts[li+1] = a
+			zs[li] = z
+		}
+		loss, grad := n.lossAndGrad(acts[len(n.layers)], y[idx])
+		total += loss
+
+		// Backward.
+		delta := grad
+		for li := len(n.layers) - 1; li >= 0; li-- {
+			l := n.layers[li]
+			if l.relu {
+				for o := range delta {
+					if zs[li][o] <= 0 {
+						delta[o] = 0
+					}
+				}
+			}
+			in := acts[li]
+			gw := gradW[li]
+			gb := gradB[li]
+			for o, dv := range delta {
+				if dv == 0 {
+					continue
+				}
+				row := gw[o]
+				for i, iv := range in {
+					row[i] += dv * iv
+				}
+				gb[o] += dv
+			}
+			if li > 0 {
+				prev := make([]float64, l.in)
+				for o, dv := range delta {
+					if dv == 0 {
+						continue
+					}
+					w := l.w[o]
+					for i := range prev {
+						prev[i] += dv * w[i]
+					}
+				}
+				delta = prev
+			}
+		}
+	}
+
+	// Average gradients over the batch and add L2 on weights.
+	bs := float64(len(batch))
+	for li, l := range n.layers {
+		for o := 0; o < l.out; o++ {
+			for i := 0; i < l.in; i++ {
+				gradW[li][o][i] = gradW[li][o][i]/bs + n.cfg.L2*l.w[o][i]
+			}
+			gradB[li][o] /= bs
+		}
+	}
+
+	n.step++
+	n.applyGradients(gradW, gradB)
+	return total
+}
+
+// applyGradients performs one optimizer update.
+func (n *Network) applyGradients(gradW [][][]float64, gradB [][]float64) {
+	lr := n.cfg.LearningRate
+	const (
+		beta1 = 0.9
+		beta2 = 0.999
+		eps   = 1e-8
+	)
+	switch n.cfg.Optimizer {
+	case SGD:
+		for li, l := range n.layers {
+			if li < n.frozen {
+				continue
+			}
+			for o := 0; o < l.out; o++ {
+				for i := 0; i < l.in; i++ {
+					l.w[o][i] -= lr * gradW[li][o][i]
+				}
+				l.b[o] -= lr * gradB[li][o]
+			}
+		}
+	case Adagrad:
+		for li, l := range n.layers {
+			if li < n.frozen {
+				continue
+			}
+			for o := 0; o < l.out; o++ {
+				for i := 0; i < l.in; i++ {
+					g := gradW[li][o][i]
+					l.vW[o][i] += g * g
+					l.w[o][i] -= lr * g / (math.Sqrt(l.vW[o][i]) + eps)
+				}
+				g := gradB[li][o]
+				l.vB[o] += g * g
+				l.b[o] -= lr * g / (math.Sqrt(l.vB[o]) + eps)
+			}
+		}
+	case Adam:
+		t := float64(n.step)
+		c1 := 1 - math.Pow(beta1, t)
+		c2 := 1 - math.Pow(beta2, t)
+		for li, l := range n.layers {
+			if li < n.frozen {
+				continue
+			}
+			for o := 0; o < l.out; o++ {
+				for i := 0; i < l.in; i++ {
+					g := gradW[li][o][i]
+					l.mW[o][i] = beta1*l.mW[o][i] + (1-beta1)*g
+					l.vW[o][i] = beta2*l.vW[o][i] + (1-beta2)*g*g
+					l.w[o][i] -= lr * (l.mW[o][i] / c1) / (math.Sqrt(l.vW[o][i]/c2) + eps)
+				}
+				g := gradB[li][o]
+				l.mB[o] = beta1*l.mB[o] + (1-beta1)*g
+				l.vB[o] = beta2*l.vB[o] + (1-beta2)*g*g
+				l.b[o] -= lr * (l.mB[o] / c1) / (math.Sqrt(l.vB[o]/c2) + eps)
+			}
+		}
+	}
+}
+
+// EvalLoss computes the mean loss of the network's predictions on (X, Y)
+// without training.
+func (n *Network) EvalLoss(x, y [][]float64) (float64, error) {
+	if len(x) == 0 || len(x) != len(y) {
+		return 0, errors.New("nn: empty or mismatched eval data")
+	}
+	var total float64
+	for i := range x {
+		pred, err := n.Predict(x[i])
+		if err != nil {
+			return 0, err
+		}
+		loss, _ := n.lossAndGrad(pred, y[i])
+		total += loss
+	}
+	return total / float64(len(x)), nil
+}
+
+func sign(x float64) float64 {
+	switch {
+	case x > 0:
+		return 1
+	case x < 0:
+		return -1
+	default:
+		return 0
+	}
+}

@@ -1,0 +1,63 @@
+package nn
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// serialized is the on-disk representation of a network.
+type serialized struct {
+	Config  Config        `json:"config"`
+	Weights [][][]float64 `json:"weights"` // [layer][out][in]
+	Biases  [][]float64   `json:"biases"`  // [layer][out]
+}
+
+// Save writes the network (architecture + weights) as JSON.
+func (n *Network) Save(w io.Writer) error {
+	s := serialized{Config: n.cfg}
+	for _, l := range n.layers {
+		wCopy := make([][]float64, len(l.w))
+		for o, row := range l.w {
+			wCopy[o] = append([]float64(nil), row...)
+		}
+		s.Weights = append(s.Weights, wCopy)
+		s.Biases = append(s.Biases, append([]float64(nil), l.b...))
+	}
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(s); err != nil {
+		return fmt.Errorf("nn: save: %w", err)
+	}
+	return nil
+}
+
+// Load reconstructs a network saved with Save. Optimizer state is not
+// persisted; a loaded network predicts identically but restarts training
+// statistics from zero.
+func Load(r io.Reader) (*Network, error) {
+	var s serialized
+	if err := json.NewDecoder(r).Decode(&s); err != nil {
+		return nil, fmt.Errorf("nn: load: %w", err)
+	}
+	n, err := New(s.Config)
+	if err != nil {
+		return nil, err
+	}
+	if len(s.Weights) != len(n.layers) || len(s.Biases) != len(n.layers) {
+		return nil, errors.New("nn: load: layer count mismatch")
+	}
+	for li, l := range n.layers {
+		if len(s.Weights[li]) != l.out || len(s.Biases[li]) != l.out {
+			return nil, fmt.Errorf("nn: load: layer %d shape mismatch", li)
+		}
+		for o := range l.w {
+			if len(s.Weights[li][o]) != l.in {
+				return nil, fmt.Errorf("nn: load: layer %d row %d width mismatch", li, o)
+			}
+			copy(l.w[o], s.Weights[li][o])
+		}
+		copy(l.b, s.Biases[li])
+	}
+	return n, nil
+}

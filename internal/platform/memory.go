@@ -1,0 +1,107 @@
+// Package platform models the resource-allocation and pricing behaviour of
+// an AWS-Lambda-style Function-as-a-Service platform (paper §2).
+//
+// The single user-facing resource knob is the memory size; CPU share,
+// network bandwidth, and file-I/O bandwidth all scale with it. The scaling
+// rules implemented here follow the published behaviour of AWS Lambda at
+// the time of the paper's measurements (2020/2021):
+//
+//   - CPU: a function receives memory/1792 MB worth of vCPU time, capped at
+//     the physical core count of the worker (Wang et al., ATC'18 [49]).
+//   - Network and file I/O bandwidth grow roughly linearly with memory and
+//     saturate at a platform cap [49].
+//   - Billing: GB-seconds times a flat rate plus a per-request charge, with
+//     configurable duration rounding (100 ms historically, 1 ms after
+//     December 2020).
+package platform
+
+import (
+	"fmt"
+	"sort"
+)
+
+// MemorySize is a Lambda memory configuration in MB.
+type MemorySize int
+
+// The six memory sizes used throughout the paper (§3.3): the smallest and
+// largest sizes available on AWS at the time plus four intermediates.
+const (
+	Mem128  MemorySize = 128
+	Mem256  MemorySize = 256
+	Mem512  MemorySize = 512
+	Mem1024 MemorySize = 1024
+	Mem2048 MemorySize = 2048
+	Mem3008 MemorySize = 3008
+)
+
+// StandardSizes returns the paper's six memory sizes in ascending order.
+// The returned slice is a fresh copy; callers may modify it.
+func StandardSizes() []MemorySize {
+	return []MemorySize{Mem128, Mem256, Mem512, Mem1024, Mem2048, Mem3008}
+}
+
+// AllSizes64MB returns every size AWS supported at the time: 128 MB to
+// 3008 MB in 64 MB increments (46 sizes). Used by the §5 interpolation
+// ablation.
+func AllSizes64MB() []MemorySize {
+	sizes := make([]MemorySize, 0, 46)
+	for m := 128; m <= 3008; m += 64 {
+		sizes = append(sizes, MemorySize(m))
+	}
+	return sizes
+}
+
+// GB returns the size expressed in gigabytes.
+func (m MemorySize) GB() float64 { return float64(m) / 1024 }
+
+// MB returns the size in megabytes as a float.
+func (m MemorySize) MB() float64 { return float64(m) }
+
+// Valid reports whether the size is within the supported range and a
+// multiple of 64 MB.
+func (m MemorySize) Valid() bool {
+	return m >= 128 && m <= 3008 && m%64 == 0
+}
+
+// String implements fmt.Stringer.
+func (m MemorySize) String() string { return fmt.Sprintf("%dMB", int(m)) }
+
+// ParseMemorySize parses strings like "512" or "512MB".
+func ParseMemorySize(s string) (MemorySize, error) {
+	var v int
+	if _, err := fmt.Sscanf(s, "%dMB", &v); err != nil {
+		if _, err := fmt.Sscanf(s, "%d", &v); err != nil {
+			return 0, fmt.Errorf("platform: cannot parse memory size %q", s)
+		}
+	}
+	m := MemorySize(v)
+	if !m.Valid() {
+		return 0, fmt.Errorf("platform: invalid memory size %d (want 128..3008 in 64MB steps)", v)
+	}
+	return m, nil
+}
+
+// Nearest returns the size in candidates closest to m, preferring the
+// smaller size on ties. It returns 0 if candidates is empty.
+func Nearest(m MemorySize, candidates []MemorySize) MemorySize {
+	if len(candidates) == 0 {
+		return 0
+	}
+	sorted := append([]MemorySize(nil), candidates...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	best := sorted[0]
+	bestDist := abs(int(m) - int(best))
+	for _, c := range sorted[1:] {
+		if d := abs(int(m) - int(c)); d < bestDist {
+			best, bestDist = c, d
+		}
+	}
+	return best
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

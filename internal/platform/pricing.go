@@ -1,0 +1,82 @@
+package platform
+
+import (
+	"math"
+	"time"
+)
+
+// PricingModel is the serverless billing scheme described in paper §2:
+// cost = ceil(duration / granularity) * granularity * memGB * rate
+//   - request charge.
+type PricingModel struct {
+	// GBSecondRate is the price per GB-second of compute ($0.0000166667
+	// on AWS at the time of the paper; the paper's §2 example rounds it to
+	// $0.00001667).
+	GBSecondRate float64
+	// RequestCharge is the static per-invocation charge ($0.0000002).
+	RequestCharge float64
+	// BillingGranularity is the duration rounding unit. AWS billed in
+	// 100 ms increments until December 2020 and 1 ms afterwards; the
+	// motivating-example data [11] predates the change, the case-study
+	// measurements straddle it. Default: 1 ms.
+	BillingGranularity time.Duration
+}
+
+// DefaultPricing returns the AWS Lambda pricing model with 1 ms granularity.
+func DefaultPricing() PricingModel {
+	return PricingModel{
+		GBSecondRate:       0.0000166667,
+		RequestCharge:      0.0000002,
+		BillingGranularity: time.Millisecond,
+	}
+}
+
+// LegacyPricing returns the pre-December-2020 model with 100 ms rounding.
+func LegacyPricing() PricingModel {
+	p := DefaultPricing()
+	p.BillingGranularity = 100 * time.Millisecond
+	return p
+}
+
+// BilledDuration rounds d up to the billing granularity. Durations of zero
+// still bill one granule, as on the real platform.
+func (p PricingModel) BilledDuration(d time.Duration) time.Duration {
+	g := p.BillingGranularity
+	if g <= 0 {
+		g = time.Millisecond
+	}
+	if d <= 0 {
+		return g
+	}
+	granules := (d + g - 1) / g
+	return granules * g
+}
+
+// Cost returns the price in dollars of one invocation of duration d at
+// memory size m.
+func (p PricingModel) Cost(m MemorySize, d time.Duration) float64 {
+	billed := p.BilledDuration(d).Seconds()
+	return billed*m.GB()*p.GBSecondRate + p.RequestCharge
+}
+
+// CostCents returns the invocation price in cents, the unit the paper's
+// Fig. 1 uses.
+func (p PricingModel) CostCents(m MemorySize, d time.Duration) float64 {
+	return p.Cost(m, d) * 100
+}
+
+// CostPerMillion returns the price in dollars of one million invocations,
+// a convenient unit for comparing configurations.
+func (p PricingModel) CostPerMillion(m MemorySize, d time.Duration) float64 {
+	return p.Cost(m, d) * 1e6
+}
+
+// BreakEvenSpeedup returns the factor by which execution time must shrink
+// when moving from size a to size b for the move to be cost-neutral
+// (ignoring the request charge). Values above 1 mean b must be faster.
+func (p PricingModel) BreakEvenSpeedup(a, b MemorySize) float64 {
+	if a <= 0 {
+		return math.Inf(1)
+	}
+	return float64(b) / float64(a)
+}

@@ -1,0 +1,236 @@
+// Package recommender operationalizes Sizeless as a continuously running,
+// provider-side service — the deployment the paper's introduction motivates
+// ("it enables cloud providers to implement resource sizing on a platform
+// level", §1, and the workload-shift handling sketched in §5).
+//
+// A Service tracks many functions. For each it ingests monitoring windows
+// (batches of invocations at the function's current memory size), issues an
+// initial recommendation once enough data accumulated, and afterwards only
+// re-recommends when the workload's resource profile actually drifts —
+// avoiding recommendation churn on noisy but stationary traffic.
+package recommender
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"sizeless/internal/core"
+	"sizeless/internal/monitoring"
+	"sizeless/internal/optimizer"
+	"sizeless/internal/platform"
+)
+
+// Config tunes the service.
+type Config struct {
+	// Tradeoff is the §3.5 t parameter (default 0.75, the paper's
+	// recommended balanced setting).
+	Tradeoff float64
+	// MinWindow is the minimum number of invocations before the first
+	// recommendation (default 100 — ~10 minutes at modest traffic, the
+	// §3.3 stability horizon).
+	MinWindow int
+	// Drift configures the §5 workload-shift detector.
+	Drift monitoring.DriftDetectorConfig
+	// Pricing is the billing model used for cost scoring.
+	Pricing platform.PricingModel
+}
+
+func (c Config) withDefaults() Config {
+	if c.Tradeoff <= 0 {
+		c.Tradeoff = 0.75
+	}
+	if c.MinWindow <= 0 {
+		c.MinWindow = 100
+	}
+	if c.Pricing == (platform.PricingModel{}) {
+		c.Pricing = platform.DefaultPricing()
+	}
+	return c
+}
+
+// Status describes one tracked function's recommendation state.
+type Status struct {
+	// FunctionID identifies the function.
+	FunctionID string
+	// Observed is the total number of ingested invocations.
+	Observed int
+	// HasRecommendation reports whether a recommendation exists yet.
+	HasRecommendation bool
+	// Recommendation is the latest §3.5 output (valid when
+	// HasRecommendation).
+	Recommendation optimizer.Recommendation
+	// Recomputations counts how many times drift forced a refresh.
+	Recomputations int
+	// LastDrift lists the metrics whose shift triggered the most recent
+	// recomputation (empty for the initial recommendation).
+	LastDrift []monitoring.MetricShift
+}
+
+// functionState is the per-function tracking record.
+type functionState struct {
+	status   Status
+	baseline []monitoring.Invocation // window behind the current recommendation
+	pending  []monitoring.Invocation // window accumulating since then
+}
+
+// Service is the continuous recommender. Safe for concurrent use.
+type Service struct {
+	cfg   Config
+	model *core.Model
+
+	mu    sync.Mutex
+	fns   map[string]*functionState
+	order []string
+}
+
+// New creates a Service over a trained model. Ingested windows must be
+// collected at the model's base memory size.
+func New(model *core.Model, cfg Config) (*Service, error) {
+	if model == nil {
+		return nil, errors.New("recommender: nil model")
+	}
+	return &Service{
+		cfg:   cfg.withDefaults(),
+		model: model,
+		fns:   make(map[string]*functionState),
+	}, nil
+}
+
+// Base returns the memory size ingested windows must be monitored at.
+func (s *Service) Base() platform.MemorySize { return s.model.Config().Base }
+
+// Ingest feeds a batch of monitored invocations for one function and
+// returns the function's (possibly updated) status.
+//
+// Behaviour:
+//   - Before MinWindow invocations accumulate: data is buffered.
+//   - At MinWindow: the initial recommendation is computed.
+//   - Afterwards: once the pending window is large enough, it is compared
+//     against the baseline window with the drift detector; only a detected
+//     shift triggers a recomputation (on the new window), which then
+//     becomes the baseline.
+func (s *Service) Ingest(functionID string, invs []monitoring.Invocation) (Status, error) {
+	if functionID == "" {
+		return Status{}, errors.New("recommender: empty function ID")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	st, ok := s.fns[functionID]
+	if !ok {
+		st = &functionState{status: Status{FunctionID: functionID}}
+		s.fns[functionID] = st
+		s.order = append(s.order, functionID)
+	}
+	st.status.Observed += len(invs)
+	st.pending = append(st.pending, invs...)
+
+	if !st.status.HasRecommendation {
+		if len(st.pending) < s.cfg.MinWindow {
+			return st.status, nil
+		}
+		if err := s.recompute(st, nil); err != nil {
+			return Status{}, err
+		}
+		return st.status, nil
+	}
+
+	// Recommendation exists: check for drift once a full window pends.
+	if len(st.pending) < s.cfg.MinWindow {
+		return st.status, nil
+	}
+	report, err := monitoring.DetectDrift(st.baseline, st.pending, s.cfg.Drift)
+	if err != nil {
+		return Status{}, fmt.Errorf("recommender: %s: %w", functionID, err)
+	}
+	if !report.Drifted() {
+		// Stationary: discard the pending window, keep the baseline.
+		st.pending = st.pending[:0]
+		return st.status, nil
+	}
+	if err := s.recompute(st, report.Shifted); err != nil {
+		return Status{}, err
+	}
+	st.status.Recomputations++
+	return st.status, nil
+}
+
+// recompute refreshes the recommendation from st.pending and promotes it to
+// the new baseline. Caller holds the lock.
+func (s *Service) recompute(st *functionState, shifted []monitoring.MetricShift) error {
+	summary, err := monitoring.Summarize(st.pending)
+	if err != nil {
+		return fmt.Errorf("recommender: %s: %w", st.status.FunctionID, err)
+	}
+	times, err := s.model.Predict(summary)
+	if err != nil {
+		return fmt.Errorf("recommender: %s: %w", st.status.FunctionID, err)
+	}
+	rec, err := optimizer.Optimize(times, s.cfg.Pricing, s.cfg.Tradeoff)
+	if err != nil {
+		return fmt.Errorf("recommender: %s: %w", st.status.FunctionID, err)
+	}
+	st.status.HasRecommendation = true
+	st.status.Recommendation = rec
+	st.status.LastDrift = shifted
+	st.baseline = st.pending
+	st.pending = nil
+	return nil
+}
+
+// Status returns the tracked state of one function.
+func (s *Service) Status(functionID string) (Status, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.fns[functionID]
+	if !ok {
+		return Status{}, fmt.Errorf("recommender: unknown function %q", functionID)
+	}
+	return st.status, nil
+}
+
+// Fleet returns the status of every tracked function, in first-seen order.
+func (s *Service) Fleet() []Status {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Status, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.fns[id].status)
+	}
+	return out
+}
+
+// Summary aggregates fleet-wide statistics for operator dashboards.
+type FleetSummary struct {
+	Functions         int
+	WithRecommend     int
+	OffBaseSelections int
+	Recomputations    int
+}
+
+// Summarize reduces the fleet to headline numbers.
+func (s *Service) Summarize() FleetSummary {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out FleetSummary
+	out.Functions = len(s.fns)
+	base := s.model.Config().Base
+	ids := make([]string, 0, len(s.fns))
+	for id := range s.fns {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		st := s.fns[id]
+		if st.status.HasRecommendation {
+			out.WithRecommend++
+			if st.status.Recommendation.Best != base {
+				out.OffBaseSelections++
+			}
+		}
+		out.Recomputations += st.status.Recomputations
+	}
+	return out
+}

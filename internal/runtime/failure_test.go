@@ -1,0 +1,152 @@
+package runtime
+
+import (
+	"testing"
+	"time"
+
+	"sizeless/internal/platform"
+	"sizeless/internal/services"
+	"sizeless/internal/workload"
+	"sizeless/internal/xrand"
+)
+
+// Failure injection: the simulator must stay finite and well-behaved under
+// pathological configurations.
+
+func TestOvercommittedHeapThrashesButCompletes(t *testing.T) {
+	// A 150 MB working set on a 128 MB instance: Node would thrash close
+	// to the cgroup limit. The model must produce a severe but finite
+	// slowdown, fully relieved at 1024 MB.
+	spec := &workload.Spec{
+		Name: "oom-adjacent",
+		Ops: []workload.Op{
+			workload.AllocOp{MB: 120},
+			workload.CPUOp{Label: "churn", WorkMs: 50, Parallelism: 1},
+		},
+		BaseHeapMB: 30,
+		NoiseCoV:   0,
+	}
+	env := NewEnv()
+	small, err := NewInstance(env, spec, platform.Mem128, xrand.New(1).Derive("s"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dSmall, _, err := small.Invoke()
+	if err != nil {
+		t.Fatalf("overcommitted instance must not fail: %v", err)
+	}
+	big, err := NewInstance(env, spec, platform.Mem1024, xrand.New(1).Derive("b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dBig, _, err := big.Invoke()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Thrashing at 128 MB must cost far more than the pure CPU-share ratio
+	// (~7.7×) would predict.
+	ratio := float64(dSmall) / float64(dBig)
+	if ratio < 10 {
+		t.Errorf("expected severe GC thrashing at 128MB: ratio %v", ratio)
+	}
+	if dSmall > 5*time.Minute {
+		t.Errorf("slowdown should stay finite and bounded: %v", dSmall)
+	}
+}
+
+func TestServiceLatencySpikeVisibleInExecution(t *testing.T) {
+	spec := &workload.Spec{
+		Name: "svc-dependent",
+		Ops: []workload.Op{
+			workload.ServiceOp{Service: services.DynamoDB, Op: "Query", Calls: 2, RequestKB: 1, ResponseKB: 4},
+		},
+		BaseHeapMB: 20,
+		NoiseCoV:   0,
+	}
+	healthy := NewEnv()
+	inst, err := NewInstance(healthy, spec, platform.Mem512, xrand.New(2).Derive("h"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dHealthy, _, err := inst.Invoke()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Inject a 20× latency regression on DynamoDB.
+	degraded := NewEnv()
+	reg := services.NewRegistry(nil)
+	p, err := reg.Profile(services.DynamoDB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.BaseLatencyMs *= 20
+	reg.SetProfile(services.DynamoDB, p)
+	degraded.Services = reg
+
+	instD, err := NewInstance(degraded, spec, platform.Mem512, xrand.New(2).Derive("h"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dDegraded, _, err := instD.Invoke()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if float64(dDegraded) < 5*float64(dHealthy) {
+		t.Errorf("latency spike not visible: healthy %v vs degraded %v", dHealthy, dDegraded)
+	}
+}
+
+func TestZeroWorkOpsAreFree(t *testing.T) {
+	spec := &workload.Spec{
+		Name: "noop-heavy",
+		Ops: []workload.Op{
+			workload.CPUOp{Label: "empty", WorkMs: 0, Parallelism: 1},
+			workload.SleepOp{Ms: 10},
+			workload.FileReadOp{MB: 0},
+			workload.FileWriteOp{MB: 0},
+		},
+		BaseHeapMB: 10,
+		NoiseCoV:   0,
+	}
+	env := NewEnv()
+	inst, err := NewInstance(env, spec, platform.Mem128, xrand.New(3).Derive("z"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, _, err := inst.Invoke()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only the sleep contributes.
+	if d < 9*time.Millisecond || d > 12*time.Millisecond {
+		t.Errorf("zero-work ops should be free: %v", d)
+	}
+}
+
+func TestZeroCallServiceOpIsNoop(t *testing.T) {
+	spec := &workload.Spec{
+		Name: "zero-calls",
+		Ops: []workload.Op{
+			workload.ServiceOp{Service: services.S3, Op: "GetObject", Calls: 0, ResponseKB: 100},
+			workload.SleepOp{Ms: 5},
+		},
+		BaseHeapMB: 10,
+		NoiseCoV:   0,
+	}
+	env := NewEnv()
+	inst, err := NewInstance(env, spec, platform.Mem512, xrand.New(4).Derive("q"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, _, err := inst.Invoke()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d > 7*time.Millisecond {
+		t.Errorf("zero-call service op should add no time: %v", d)
+	}
+	if inst.Snapshot().BytesRecv != 0 {
+		t.Error("zero-call service op should transfer nothing")
+	}
+}

@@ -1,0 +1,60 @@
+package stats
+
+import "sort"
+
+// CliffsDeltaMagnitude classifies the effect size of a Cliff's delta value
+// using the conventional thresholds from Romano et al. (2006), the same
+// convention the paper applies when declaring one-minute differences
+// "negligible" (§3.3).
+type CliffsDeltaMagnitude string
+
+// Effect-size categories for |delta|.
+const (
+	Negligible CliffsDeltaMagnitude = "negligible" // |d| < 0.147
+	Small      CliffsDeltaMagnitude = "small"      // |d| < 0.33
+	Medium     CliffsDeltaMagnitude = "medium"     // |d| < 0.474
+	Large      CliffsDeltaMagnitude = "large"      // otherwise
+)
+
+// CliffsDelta computes Cliff's delta, a non-parametric ordinal effect size:
+//
+//	d = (#{(i,j): x_i > y_j} - #{(i,j): x_i < y_j}) / (n1 * n2)
+//
+// The result lies in [-1, 1]; 0 means complete overlap. The implementation
+// sorts y once and uses binary search, giving O((n1+n2) log n2) instead of
+// the naive O(n1*n2).
+func CliffsDelta(x, y []float64) (float64, error) {
+	if len(x) == 0 || len(y) == 0 {
+		return 0, ErrEmptyInput
+	}
+	ys := append([]float64(nil), y...)
+	sort.Float64s(ys)
+
+	var greater, less int64
+	for _, xv := range x {
+		// Number of y strictly below xv.
+		lo := sort.SearchFloat64s(ys, xv)
+		// Number of y less than or equal to xv.
+		hi := sort.Search(len(ys), func(i int) bool { return ys[i] > xv })
+		greater += int64(lo)
+		less += int64(len(ys) - hi)
+	}
+	return float64(greater-less) / (float64(len(x)) * float64(len(y))), nil
+}
+
+// Magnitude classifies d per the conventional |delta| thresholds.
+func Magnitude(d float64) CliffsDeltaMagnitude {
+	if d < 0 {
+		d = -d
+	}
+	switch {
+	case d < 0.147:
+		return Negligible
+	case d < 0.33:
+		return Small
+	case d < 0.474:
+		return Medium
+	default:
+		return Large
+	}
+}

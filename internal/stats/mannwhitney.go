@@ -1,0 +1,124 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// MannWhitneyResult holds the outcome of a two-sided Mann-Whitney U test.
+type MannWhitneyResult struct {
+	// U is the test statistic min(U1, U2).
+	U float64
+	// U1 is the statistic attributed to the first sample.
+	U1 float64
+	// Z is the normal-approximation z-score (tie-corrected).
+	Z float64
+	// P is the two-sided p-value from the normal approximation.
+	P float64
+}
+
+// MannWhitneyU performs a two-sided Mann-Whitney U test (also known as the
+// Wilcoxon rank-sum test) on two independent samples, using the normal
+// approximation with tie correction and continuity correction. This mirrors
+// scipy.stats.mannwhitneyu(x, y, alternative="two-sided"), which the paper
+// uses to decide when a metric's measurement window is long enough (Fig. 3).
+//
+// The normal approximation is accurate for sample sizes above ~20; the
+// stability analysis compares windows with hundreds to thousands of samples,
+// so this is the appropriate regime.
+func MannWhitneyU(x, y []float64) (MannWhitneyResult, error) {
+	n1, n2 := len(x), len(y)
+	if n1 == 0 || n2 == 0 {
+		return MannWhitneyResult{}, ErrEmptyInput
+	}
+
+	type obs struct {
+		v     float64
+		group int // 0 for x, 1 for y
+	}
+	all := make([]obs, 0, n1+n2)
+	for _, v := range x {
+		all = append(all, obs{v, 0})
+	}
+	for _, v := range y {
+		all = append(all, obs{v, 1})
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].v < all[j].v })
+
+	// Assign midranks and accumulate the tie-correction term Σ(t³ - t).
+	ranks := make([]float64, len(all))
+	var tieTerm float64
+	for i := 0; i < len(all); {
+		j := i
+		for j < len(all) && all[j].v == all[i].v {
+			j++
+		}
+		// Observations i..j-1 are tied; midrank of 1-based ranks i+1..j.
+		mid := float64(i+1+j) / 2
+		for k := i; k < j; k++ {
+			ranks[k] = mid
+		}
+		t := float64(j - i)
+		if t > 1 {
+			tieTerm += t*t*t - t
+		}
+		i = j
+	}
+
+	var r1 float64
+	for i, o := range all {
+		if o.group == 0 {
+			r1 += ranks[i]
+		}
+	}
+
+	fn1, fn2 := float64(n1), float64(n2)
+	u1 := r1 - fn1*(fn1+1)/2
+	u2 := fn1*fn2 - u1
+	u := math.Min(u1, u2)
+
+	mu := fn1 * fn2 / 2
+	n := fn1 + fn2
+	sigma2 := fn1 * fn2 / 12 * ((n + 1) - tieTerm/(n*(n-1)))
+	if sigma2 <= 0 {
+		// All observations tied: the samples are trivially from the same
+		// distribution. Report p = 1.
+		return MannWhitneyResult{U: u, U1: u1, Z: 0, P: 1}, nil
+	}
+	sigma := math.Sqrt(sigma2)
+
+	// Continuity correction of 0.5 toward the mean.
+	num := u1 - mu
+	var z float64
+	switch {
+	case num > 0.5:
+		z = (num - 0.5) / sigma
+	case num < -0.5:
+		z = (num + 0.5) / sigma
+	default:
+		z = 0
+	}
+
+	p := 2 * normalSurvival(math.Abs(z))
+	if p > 1 {
+		p = 1
+	}
+	return MannWhitneyResult{U: u, U1: u1, Z: z, P: p}, nil
+}
+
+// SameDistribution reports whether the two-sided Mann-Whitney U test fails
+// to reject the null hypothesis that x and y come from the same distribution
+// at significance level alpha. The stability analysis uses alpha = 0.05.
+func SameDistribution(x, y []float64, alpha float64) (bool, error) {
+	res, err := MannWhitneyU(x, y)
+	if err != nil {
+		return false, err
+	}
+	return res.P >= alpha, nil
+}
+
+// normalSurvival returns P(Z > z) for a standard normal variable, i.e. the
+// complementary CDF, computed via the complementary error function.
+func normalSurvival(z float64) float64 {
+	return 0.5 * math.Erfc(z/math.Sqrt2)
+}

@@ -1,0 +1,167 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMannWhitneyUIdenticalSamples(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	res, err := MannWhitneyU(x, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P < 0.99 {
+		t.Errorf("identical samples should give p close to 1, got %v", res.P)
+	}
+	same, err := SameDistribution(x, x, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !same {
+		t.Error("identical samples should be judged same-distribution")
+	}
+}
+
+func TestMannWhitneyUSeparatedSamples(t *testing.T) {
+	x := make([]float64, 50)
+	y := make([]float64, 50)
+	for i := range x {
+		x[i] = float64(i)
+		y[i] = float64(i) + 1000
+	}
+	res, err := MannWhitneyU(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P > 1e-6 {
+		t.Errorf("fully separated samples should have tiny p, got %v", res.P)
+	}
+	if res.U != 0 {
+		t.Errorf("fully separated samples should have U = 0, got %v", res.U)
+	}
+}
+
+func TestMannWhitneyUKnownValue(t *testing.T) {
+	// Hand-computed example. x = {1,2,3}, y = {4,5,6}: all y exceed all x,
+	// so U1 = 0 and U2 = 9.
+	res, err := MannWhitneyU([]float64{1, 2, 3}, []float64{4, 5, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.U1 != 0 {
+		t.Errorf("U1 = %v, want 0", res.U1)
+	}
+	if res.U != 0 {
+		t.Errorf("U = %v, want 0", res.U)
+	}
+}
+
+func TestMannWhitneyUAllTied(t *testing.T) {
+	x := []float64{5, 5, 5}
+	y := []float64{5, 5, 5, 5}
+	res, err := MannWhitneyU(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P != 1 {
+		t.Errorf("all-tied samples should give p = 1, got %v", res.P)
+	}
+}
+
+func TestMannWhitneyUEmptyInput(t *testing.T) {
+	if _, err := MannWhitneyU(nil, []float64{1}); err == nil {
+		t.Error("expected error for empty x")
+	}
+	if _, err := MannWhitneyU([]float64{1}, nil); err == nil {
+		t.Error("expected error for empty y")
+	}
+}
+
+// Property: the test is symmetric — swapping the samples preserves p.
+func TestMannWhitneySymmetryProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		n1 := 5 + rng.Intn(40)
+		n2 := 5 + rng.Intn(40)
+		x := make([]float64, n1)
+		y := make([]float64, n2)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		for i := range y {
+			y[i] = rng.NormFloat64()*2 + 0.3
+		}
+		a, err := MannWhitneyU(x, y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := MannWhitneyU(y, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !almostEqual(a.P, b.P, 1e-9) {
+			t.Fatalf("p not symmetric: %v vs %v", a.P, b.P)
+		}
+		if !almostEqual(a.U, b.U, 1e-9) {
+			t.Fatalf("U not symmetric: %v vs %v", a.U, b.U)
+		}
+	}
+}
+
+// Property: p-values always land in [0, 1] and U in [0, n1*n2/2].
+func TestMannWhitneyBoundsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n1 := 2 + rng.Intn(30)
+		n2 := 2 + rng.Intn(30)
+		x := make([]float64, n1)
+		y := make([]float64, n2)
+		for i := range x {
+			x[i] = math.Round(rng.NormFloat64() * 3) // ties likely
+		}
+		for i := range y {
+			y[i] = math.Round(rng.NormFloat64() * 3)
+		}
+		res, err := MannWhitneyU(x, y)
+		if err != nil {
+			return false
+		}
+		maxU := float64(n1*n2) / 2
+		return res.P >= 0 && res.P <= 1 && res.U >= 0 && res.U <= maxU+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// The stability analysis depends on same-distribution samples passing the
+// test most of the time; check the false-positive rate is near alpha.
+func TestMannWhitneyFalsePositiveRate(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	trials := 400
+	rejected := 0
+	for i := 0; i < trials; i++ {
+		x := make([]float64, 100)
+		y := make([]float64, 100)
+		for j := range x {
+			x[j] = rng.ExpFloat64()
+		}
+		for j := range y {
+			y[j] = rng.ExpFloat64()
+		}
+		same, err := SameDistribution(x, y, 0.05)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !same {
+			rejected++
+		}
+	}
+	rate := float64(rejected) / float64(trials)
+	if rate > 0.10 {
+		t.Errorf("false positive rate %v too high (alpha 0.05)", rate)
+	}
+}

@@ -1,0 +1,270 @@
+// Package sizeless is a faithful, self-contained Go implementation of
+// "Sizeless: Predicting the Optimal Size of Serverless Functions"
+// (Eismann et al., Middleware 2021).
+//
+// Sizeless predicts a serverless function's execution time at every memory
+// size from resource-consumption monitoring data collected at a *single*
+// memory size, then recommends the cost/performance-optimal size. Unlike
+// profiling approaches (AWS Lambda Power Tuning, COSE, BATCH), it needs no
+// dedicated performance tests: production monitoring of one deployment is
+// enough.
+//
+// The package exposes the complete pipeline:
+//
+//	// Offline phase: generate synthetic functions, measure them on the
+//	// simulated FaaS platform, and train the multi-target regression model.
+//	ds, _ := sizeless.GenerateDataset(sizeless.DatasetConfig{Functions: 500, Seed: 1})
+//	pred, _ := sizeless.TrainPredictor(ds, sizeless.PredictorConfig{Base: sizeless.Mem256})
+//
+//	// Online phase: monitor a production function at one size...
+//	summary := monitorYourFunction()
+//	// ...predict all sizes and pick the best tradeoff.
+//	rec, _ := pred.Recommend(summary, 0.75)
+//	fmt.Println(rec.Best)
+//
+// Everything underneath — the Lambda-like platform model, the Node.js-like
+// runtime with the 25 Table-1 metrics, the managed-service simulators, the
+// load generator, the measurement harness, the neural network, and the
+// baselines — lives in internal/ packages and is exercised through this
+// API, the example programs under examples/, and the benchmark harness
+// that regenerates every table and figure of the paper (cmd/benchreport).
+package sizeless
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"sizeless/internal/core"
+	"sizeless/internal/dataset"
+	"sizeless/internal/fngen"
+	"sizeless/internal/harness"
+	"sizeless/internal/monitoring"
+	"sizeless/internal/optimizer"
+	"sizeless/internal/platform"
+	"sizeless/internal/recommender"
+	"sizeless/internal/runtime"
+	"sizeless/internal/workload"
+	"sizeless/internal/xrand"
+)
+
+// MemorySize is a Lambda memory configuration in MB.
+type MemorySize = platform.MemorySize
+
+// The paper's six standard memory sizes.
+const (
+	Mem128  = platform.Mem128
+	Mem256  = platform.Mem256
+	Mem512  = platform.Mem512
+	Mem1024 = platform.Mem1024
+	Mem2048 = platform.Mem2048
+	Mem3008 = platform.Mem3008
+)
+
+// StandardSizes returns the six paper sizes in ascending order.
+func StandardSizes() []MemorySize { return platform.StandardSizes() }
+
+// Summary is the per-function monitoring aggregate (mean/std/CoV of the 25
+// Table-1 metrics) collected at one memory size.
+type Summary = monitoring.Summary
+
+// Dataset is the training dataset: functions × memory sizes × summaries.
+type Dataset = dataset.Dataset
+
+// DatasetConfig configures the offline dataset-generation phase (§3.1–3.3).
+type DatasetConfig struct {
+	// Functions is the number of synthetic functions (paper: 2000).
+	Functions int
+	// Rate is the load-generator request rate (paper: 30 rps).
+	Rate float64
+	// Duration is the per-experiment window (paper: 10 min).
+	Duration time.Duration
+	// Sizes is the memory grid (default: the six standard sizes).
+	Sizes []MemorySize
+	// Seed anchors all randomness; identical seeds reproduce the dataset
+	// bit-for-bit.
+	Seed int64
+	// Workers bounds parallelism (0 = GOMAXPROCS).
+	Workers int
+}
+
+// GenerateDataset runs the offline measurement campaign: it generates
+// unique synthetic functions from the sixteen-segment catalog, deploys each
+// at every memory size on the simulated platform, drives them with Poisson
+// load, and aggregates the monitored metrics.
+func GenerateDataset(cfg DatasetConfig) (*Dataset, error) {
+	if cfg.Functions <= 0 {
+		return nil, errors.New("sizeless: DatasetConfig.Functions must be positive")
+	}
+	gen := fngen.New(xrand.New(cfg.Seed), fngen.Options{})
+	fns, err := gen.Generate(cfg.Functions)
+	if err != nil {
+		return nil, fmt.Errorf("sizeless: %w", err)
+	}
+	specs := make([]*workload.Spec, len(fns))
+	for i, fn := range fns {
+		specs[i] = fn.Spec
+	}
+	ds, err := harness.BuildDataset(harness.Options{
+		Rate:     cfg.Rate,
+		Duration: cfg.Duration,
+		Sizes:    cfg.Sizes,
+		Seed:     cfg.Seed,
+		Workers:  cfg.Workers,
+	}, specs)
+	if err != nil {
+		return nil, fmt.Errorf("sizeless: %w", err)
+	}
+	return ds, nil
+}
+
+// ReadDatasetCSV loads a dataset previously saved with Dataset.WriteCSV.
+func ReadDatasetCSV(r io.Reader) (*Dataset, error) {
+	return dataset.ReadCSV(r)
+}
+
+// PredictorConfig configures model training (§3.4).
+type PredictorConfig struct {
+	// Base is the monitored memory size (the paper recommends 256 MB,
+	// which is also the default).
+	Base MemorySize
+	// Hidden, Epochs override the paper-final network (4×256, 200 epochs)
+	// when non-zero — useful for quick experiments.
+	Hidden []int
+	Epochs int
+	// Seed drives weight initialization.
+	Seed int64
+}
+
+// Predictor predicts execution times for all memory sizes from a single
+// monitored size and recommends the optimal size.
+type Predictor struct {
+	model   *core.Model
+	pricing platform.PricingModel
+}
+
+// TrainPredictor fits the multi-target regression model on a dataset.
+func TrainPredictor(ds *Dataset, cfg PredictorConfig) (*Predictor, error) {
+	if cfg.Base == 0 {
+		cfg.Base = Mem256
+	}
+	mc := core.DefaultModelConfig(cfg.Base)
+	mc.Sizes = ds.Sizes
+	if cfg.Hidden != nil {
+		mc.Hidden = cfg.Hidden
+	}
+	if cfg.Epochs > 0 {
+		mc.Epochs = cfg.Epochs
+	}
+	if cfg.Seed != 0 {
+		mc.Seed = cfg.Seed
+	}
+	model, err := core.Train(ds, mc)
+	if err != nil {
+		return nil, fmt.Errorf("sizeless: %w", err)
+	}
+	return &Predictor{model: model, pricing: platform.DefaultPricing()}, nil
+}
+
+// LoadPredictor restores a predictor saved with Save.
+func LoadPredictor(r io.Reader) (*Predictor, error) {
+	model, err := core.LoadModel(r)
+	if err != nil {
+		return nil, fmt.Errorf("sizeless: %w", err)
+	}
+	return &Predictor{model: model, pricing: platform.DefaultPricing()}, nil
+}
+
+// Save persists the predictor (weights + scaler + feature names) as JSON.
+func (p *Predictor) Save(w io.Writer) error {
+	if err := p.model.Save(w); err != nil {
+		return fmt.Errorf("sizeless: %w", err)
+	}
+	return nil
+}
+
+// Base returns the memory size the predictor expects monitoring data from.
+func (p *Predictor) Base() MemorySize { return p.model.Config().Base }
+
+// Predict returns the expected mean execution time (ms) for every memory
+// size, given a monitoring summary collected at the predictor's base size.
+func (p *Predictor) Predict(s Summary) (map[MemorySize]float64, error) {
+	out, err := p.model.Predict(s)
+	if err != nil {
+		return nil, fmt.Errorf("sizeless: %w", err)
+	}
+	return out, nil
+}
+
+// Recommendation is the optimizer's output for one function.
+type Recommendation = optimizer.Recommendation
+
+// Recommend predicts all sizes and returns the §3.5 recommendation for the
+// given tradeoff t in [0,1]: t = 0.75 prioritizes cost (the paper's
+// recommended setting), t = 0.25 prioritizes performance.
+func (p *Predictor) Recommend(s Summary, tradeoff float64) (Recommendation, error) {
+	times, err := p.Predict(s)
+	if err != nil {
+		return Recommendation{}, err
+	}
+	rec, err := optimizer.Optimize(times, p.pricing, tradeoff)
+	if err != nil {
+		return Recommendation{}, fmt.Errorf("sizeless: %w", err)
+	}
+	return rec, nil
+}
+
+// MonitorConfig configures online monitoring of a (simulated) production
+// function — the data-collection side of the online phase.
+type MonitorConfig struct {
+	// Memory is the function's deployed memory size.
+	Memory MemorySize
+	// Rate and Duration define the observation window (the paper shows ten
+	// minutes at production traffic suffices, §3.3).
+	Rate     float64
+	Duration time.Duration
+	// Seed anchors simulation randomness.
+	Seed int64
+}
+
+// MonitorFunction runs a workload spec on the simulated platform at one
+// memory size and returns its monitoring summary — the stand-in for reading
+// production monitoring data off a real deployment.
+func MonitorFunction(spec *workload.Spec, cfg MonitorConfig) (Summary, error) {
+	if cfg.Memory == 0 {
+		cfg.Memory = Mem256
+	}
+	sum, _, err := harness.Measure(harness.Options{
+		Rate:     cfg.Rate,
+		Duration: cfg.Duration,
+		Seed:     cfg.Seed,
+	}, spec, cfg.Memory, 0)
+	if err != nil {
+		return Summary{}, fmt.Errorf("sizeless: %w", err)
+	}
+	return sum, nil
+}
+
+// NewEnv returns a fresh simulated platform environment, exposed for
+// advanced scenarios (custom drift, service latency overrides).
+func NewEnv() *runtime.Env { return runtime.NewEnv() }
+
+// ServiceConfig configures the continuous recommendation service.
+type ServiceConfig = recommender.Config
+
+// Service is a continuously running, drift-aware recommender that tracks a
+// fleet of functions — the provider-side deployment the paper's
+// introduction motivates.
+type Service = recommender.Service
+
+// NewService wraps the predictor in a continuous recommendation service:
+// ingest monitoring windows per function; recommendations refresh only when
+// the workload's resource profile drifts (paper §5).
+func (p *Predictor) NewService(cfg ServiceConfig) (*Service, error) {
+	svc, err := recommender.New(p.model, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("sizeless: %w", err)
+	}
+	return svc, nil
+}

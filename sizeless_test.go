@@ -1,0 +1,197 @@
+package sizeless_test
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"sizeless"
+	"sizeless/internal/services"
+	"sizeless/internal/workload"
+)
+
+// demoSpec is a mixed CPU/service function used across the API tests.
+func demoSpec() *workload.Spec {
+	return &workload.Spec{
+		Name: "demo-fn",
+		Ops: []workload.Op{
+			workload.CPUOp{Label: "work", WorkMs: 40, Parallelism: 1, TransientAllocMB: 10},
+			workload.ServiceOp{Service: services.DynamoDB, Op: "Query", Calls: 2, RequestKB: 1, ResponseKB: 16},
+		},
+		BaseHeapMB: 30,
+		CodeMB:     3,
+		PayloadKB:  2,
+		ResponseKB: 1,
+		NoiseCoV:   0.1,
+	}
+}
+
+func quickDataset(t *testing.T) *sizeless.Dataset {
+	t.Helper()
+	ds, err := sizeless.GenerateDataset(sizeless.DatasetConfig{
+		Functions: 60,
+		Rate:      10,
+		Duration:  5 * time.Second,
+		Seed:      42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestEndToEndPipeline(t *testing.T) {
+	ds := quickDataset(t)
+	if len(ds.Rows) != 60 {
+		t.Fatalf("dataset rows = %d, want 60", len(ds.Rows))
+	}
+
+	pred, err := sizeless.TrainPredictor(ds, sizeless.PredictorConfig{
+		Hidden: []int{32, 32},
+		Epochs: 150,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pred.Base() != sizeless.Mem256 {
+		t.Errorf("default base = %v, want 256MB", pred.Base())
+	}
+
+	summary, err := sizeless.MonitorFunction(demoSpec(), sizeless.MonitorConfig{
+		Memory:   sizeless.Mem256,
+		Rate:     10,
+		Duration: 10 * time.Second,
+		Seed:     7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if summary.N == 0 {
+		t.Fatal("monitoring produced no samples")
+	}
+
+	times, err := pred.Predict(summary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(times) != 6 {
+		t.Fatalf("predictions for %d sizes, want 6", len(times))
+	}
+	// Monotone non-increasing (enforced physical constraint).
+	prev := times[sizeless.Mem128]
+	for _, m := range sizeless.StandardSizes()[1:] {
+		if times[m] > prev+1e-9 {
+			t.Errorf("prediction increased with memory at %v", m)
+		}
+		prev = times[m]
+	}
+
+	rec, err := pred.Recommend(summary, 0.75)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rec.Best.Valid() {
+		t.Errorf("recommended size %v invalid", rec.Best)
+	}
+	if len(rec.Options) != 6 {
+		t.Errorf("recommendation scored %d options, want 6", len(rec.Options))
+	}
+}
+
+func TestPredictorSaveLoadRoundTrip(t *testing.T) {
+	ds := quickDataset(t)
+	pred, err := sizeless.TrainPredictor(ds, sizeless.PredictorConfig{
+		Hidden: []int{24},
+		Epochs: 60,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := pred.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := sizeless.LoadPredictor(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	summary, err := sizeless.MonitorFunction(demoSpec(), sizeless.MonitorConfig{
+		Rate: 10, Duration: 5 * time.Second, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := pred.Predict(summary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := back.Predict(summary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for m, v := range a {
+		if b[m] != v {
+			t.Fatalf("loaded predictor differs at %v: %v vs %v", m, v, b[m])
+		}
+	}
+}
+
+func TestDatasetCSVRoundTripViaFacade(t *testing.T) {
+	ds := quickDataset(t)
+	var buf bytes.Buffer
+	if err := ds.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := sizeless.ReadDatasetCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Rows) != len(ds.Rows) {
+		t.Fatalf("round trip lost rows: %d vs %d", len(back.Rows), len(ds.Rows))
+	}
+	// A predictor trained on the round-tripped dataset behaves identically.
+	p1, err := sizeless.TrainPredictor(ds, sizeless.PredictorConfig{Hidden: []int{16}, Epochs: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := sizeless.TrainPredictor(back, sizeless.PredictorConfig{Hidden: []int{16}, Epochs: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := ds.Rows[0].Summaries[sizeless.Mem256]
+	a, err := p1.Predict(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := p2.Predict(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for m := range a {
+		if a[m] != b[m] {
+			t.Fatalf("CSV round trip changed training outcome at %v", m)
+		}
+	}
+}
+
+func TestGenerateDatasetErrors(t *testing.T) {
+	if _, err := sizeless.GenerateDataset(sizeless.DatasetConfig{}); err == nil {
+		t.Error("zero functions should error")
+	}
+}
+
+func TestRecommendTradeoffValidation(t *testing.T) {
+	ds := quickDataset(t)
+	pred, err := sizeless.TrainPredictor(ds, sizeless.PredictorConfig{Hidden: []int{16}, Epochs: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	summary := ds.Rows[0].Summaries[sizeless.Mem256]
+	if _, err := pred.Recommend(summary, 1.5); err == nil {
+		t.Error("tradeoff > 1 should error")
+	}
+	if _, err := pred.Recommend(summary, -0.2); err == nil {
+		t.Error("tradeoff < 0 should error")
+	}
+}
