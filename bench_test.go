@@ -12,6 +12,7 @@
 package sizeless_test
 
 import (
+	"context"
 	"io"
 	"sync"
 	"testing"
@@ -240,7 +241,7 @@ func BenchmarkNNTrainingEpoch(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		if _, err := net.Train(x, y); err != nil {
+		if _, err := net.Train(context.Background(), x, y); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -354,7 +355,7 @@ func BenchmarkCoreTraining(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		cfg.Seed = int64(i + 1)
-		if _, err := core.Train(ds, cfg); err != nil {
+		if _, err := core.Train(context.Background(), ds, cfg); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -368,4 +369,60 @@ func BenchmarkTransferLearning(b *testing.B) {
 	runExperiment(b, func(l *experiments.Lab) (interface{ Render() string }, error) {
 		return experiments.TransferLearning(l)
 	})
+}
+
+// batchSummaries assembles n monitoring summaries from the shared lab
+// dataset for the batch-prediction benchmarks.
+func batchSummaries(b *testing.B, n int) []monitoring.Summary {
+	b.Helper()
+	l := lab(b)
+	ds, err := l.Dataset()
+	if err != nil {
+		b.Fatal(err)
+	}
+	sums := make([]monitoring.Summary, n)
+	for i := range sums {
+		sums[i] = ds.Rows[i%len(ds.Rows)].Summaries[platform.Mem256]
+	}
+	return sums
+}
+
+// BenchmarkPredictLoop is the naive fleet sweep: one Predict call per
+// summary — the baseline PredictBatch must beat.
+func BenchmarkPredictLoop(b *testing.B) {
+	l := lab(b)
+	model, err := l.Model(platform.Mem256)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sums := batchSummaries(b, 256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, s := range sums {
+			if _, err := model.Predict(s); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkPredictBatch measures the amortized concurrent batch path over
+// the same 256 summaries (the fleet-scale hot path of a provider-side
+// recommender).
+func BenchmarkPredictBatch(b *testing.B) {
+	l := lab(b)
+	model, err := l.Model(platform.Mem256)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sums := batchSummaries(b, 256)
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := model.PredictBatch(ctx, sums, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
 }

@@ -95,10 +95,16 @@ func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("benchreport", flag.ContinueOnError)
 	scaleName := fs.String("scale", "small", "experiment scale: small, medium, or full")
 	runList := fs.String("run", "all", "comma-separated experiment ids, or 'all'")
+	providerName := fs.String("provider", platform.AWSLambdaName,
+		"platform provider the experiments run on (see 'sizeless providers')")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	scale, err := experiments.ScaleByName(*scaleName)
+	if err != nil {
+		return err
+	}
+	provider, err := platform.LookupProvider(*providerName)
 	if err != nil {
 		return err
 	}
@@ -115,8 +121,8 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 
-	lab := experiments.NewLab(scale)
-	fmt.Fprintf(out, "Sizeless reproduction report — scale %q, seed %d\n", scale.Name, scale.Seed)
+	lab := experiments.NewLabFor(scale, provider)
+	fmt.Fprintf(out, "Sizeless reproduction report — scale %q, provider %q, seed %d\n", scale.Name, provider.Name(), scale.Seed)
 	fmt.Fprintf(out, "generated %s\n\n", time.Now().UTC().Format(time.RFC3339))
 
 	for _, r := range runners() {

@@ -5,46 +5,70 @@
 // Usage:
 //
 //	harness -functions 200 -rate 30 -duration 1m -out dataset.csv
+//	harness -functions 200 -provider gcp-cloudfunctions -out gcp.csv
+//
+// Ctrl-C cancels the campaign at the next experiment boundary.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"time"
 
 	"sizeless"
+	"sizeless/internal/platform"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := run(ctx, os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "harness:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("harness", flag.ContinueOnError)
 	functions := fs.Int("functions", 100, "number of synthetic functions to measure")
 	rate := fs.Float64("rate", 30, "request rate (req/s)")
 	duration := fs.Duration("duration", time.Minute, "measurement window per experiment")
 	seed := fs.Int64("seed", 1, "campaign seed")
 	workers := fs.Int("workers", 0, "parallel experiments (0 = GOMAXPROCS)")
+	providerName := fs.String("provider", platform.AWSLambdaName, "platform provider (see 'sizeless providers')")
 	out := fs.String("out", "dataset.csv", "output CSV path")
+	quiet := fs.Bool("quiet", false, "suppress progress output")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	provider, err := sizeless.ProviderByName(*providerName)
+	if err != nil {
 		return err
 	}
 
 	start := time.Now()
-	fmt.Fprintf(os.Stderr, "measuring %d functions × 6 sizes at %.0f rps for %v each...\n",
-		*functions, *rate, *duration)
-	ds, err := sizeless.GenerateDataset(sizeless.DatasetConfig{
-		Functions: *functions,
-		Rate:      *rate,
-		Duration:  *duration,
-		Seed:      *seed,
-		Workers:   *workers,
-	})
+	sizes := provider.DefaultSizes()
+	fmt.Fprintf(os.Stderr, "measuring %d functions × %d sizes on %s at %.0f rps for %v each...\n",
+		*functions, len(sizes), provider.Name(), *rate, *duration)
+	opts := []sizeless.Option{
+		sizeless.WithProvider(provider),
+		sizeless.WithFunctions(*functions),
+		sizeless.WithRate(*rate),
+		sizeless.WithDuration(*duration),
+		sizeless.WithSeed(*seed),
+		sizeless.WithWorkers(*workers),
+	}
+	if !*quiet {
+		opts = append(opts, sizeless.WithProgress(func(done, total int) {
+			if done%50 == 0 || done == total {
+				fmt.Fprintf(os.Stderr, "  %d/%d experiments done\n", done, total)
+			}
+		}))
+	}
+	ds, err := sizeless.GenerateDataset(ctx, opts...)
 	if err != nil {
 		return err
 	}

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"testing"
@@ -10,7 +11,7 @@ import (
 
 func TestRunWritesDataset(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "ds.csv")
-	err := run([]string{
+	err := run(context.Background(), []string{
 		"-functions", "5",
 		"-rate", "10",
 		"-duration", "3s",
@@ -34,7 +35,41 @@ func TestRunWritesDataset(t *testing.T) {
 }
 
 func TestRunBadOutput(t *testing.T) {
-	if err := run([]string{"-functions", "1", "-duration", "1s", "-out", "/nonexistent-dir/x.csv"}); err == nil {
+	if err := run(context.Background(), []string{"-functions", "1", "-duration", "1s", "-out", "/nonexistent-dir/x.csv"}); err == nil {
 		t.Error("unwritable output should error")
+	}
+}
+
+func TestRunUnknownProvider(t *testing.T) {
+	err := run(context.Background(), []string{"-functions", "1", "-duration", "1s", "-provider", "nope"})
+	if err == nil {
+		t.Error("unknown provider should error")
+	}
+}
+
+func TestRunNonAWSProvider(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "gcp.csv")
+	err := run(context.Background(), []string{
+		"-functions", "2",
+		"-rate", "10",
+		"-duration", "2s",
+		"-provider", "gcp-cloudfunctions",
+		"-quiet",
+		"-out", out,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	ds, err := dataset.ReadCSV(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Sizes) != 6 || ds.Sizes[len(ds.Sizes)-1] != 4096 {
+		t.Errorf("GCP grid sizes = %v, want six tiers up to 4096MB", ds.Sizes)
 	}
 }

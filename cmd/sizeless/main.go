@@ -3,19 +3,27 @@
 //	sizeless train -dataset dataset.csv -base 256 -out model.json
 //	sizeless evaluate -dataset dataset.csv -base 256
 //	sizeless recommend -model model.json -dataset dataset.csv -function synthetic-0007 -t 0.75
-//	sizeless demo
+//	sizeless recommend ... -provider gcp-cloudfunctions
+//	sizeless demo -provider azure-functions
+//	sizeless providers
 //
 // "train" fits the multi-target regression model on a dataset produced by
 // cmd/harness. "evaluate" reports cross-validated model quality (the
 // Table 3 metrics). "recommend" predicts all memory sizes for one monitored
-// function and prints the §3.5 recommendation. "demo" runs the whole
-// pipeline end-to-end at a small scale.
+// function and prints the §3.5 recommendation under the selected provider's
+// pricing. "demo" runs the whole pipeline end-to-end at a small scale on
+// the selected provider. "providers" lists the registered platforms.
+//
+// Every subcommand honours Ctrl-C: measurement campaigns and training stop
+// at the next experiment/epoch boundary.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"time"
 
 	"sizeless"
@@ -26,25 +34,29 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := run(ctx, os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "sizeless:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(ctx context.Context, args []string) error {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: sizeless <train|evaluate|recommend|demo> [flags]")
+		return fmt.Errorf("usage: sizeless <train|evaluate|recommend|demo|providers> [flags]")
 	}
 	switch args[0] {
 	case "train":
-		return cmdTrain(args[1:])
+		return cmdTrain(ctx, args[1:])
 	case "evaluate":
-		return cmdEvaluate(args[1:])
+		return cmdEvaluate(ctx, args[1:])
 	case "recommend":
-		return cmdRecommend(args[1:])
+		return cmdRecommend(ctx, args[1:])
 	case "demo":
-		return cmdDemo(args[1:])
+		return cmdDemo(ctx, args[1:])
+	case "providers":
+		return cmdProviders(args[1:])
 	default:
 		return fmt.Errorf("unknown subcommand %q", args[0])
 	}
@@ -59,15 +71,38 @@ func loadDataset(path string) (*sizeless.Dataset, error) {
 	return dataset.ReadCSV(f)
 }
 
-func parseBase(mb int) (sizeless.MemorySize, error) {
+// parseBase validates the -base flag against the dataset's own memory
+// grid: the trainable bases are exactly the measured sizes, whatever
+// provider's grid the dataset was collected on.
+func parseBase(mb int, ds *sizeless.Dataset) (sizeless.MemorySize, error) {
 	base := platform.MemorySize(mb)
-	if !base.Valid() {
+	if base <= 0 {
 		return 0, fmt.Errorf("invalid base memory size %d", mb)
 	}
-	return base, nil
+	for _, m := range ds.Sizes {
+		if m == base {
+			return base, nil
+		}
+	}
+	return 0, fmt.Errorf("base %v not among the dataset's measured sizes %v", base, ds.Sizes)
 }
 
-func cmdTrain(args []string) error {
+func cmdProviders(args []string) error {
+	fs := flag.NewFlagSet("providers", flag.ContinueOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	for _, name := range sizeless.Providers() {
+		p, err := sizeless.ProviderByName(name)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-22s %s\n", name, p.Description())
+	}
+	return nil
+}
+
+func cmdTrain(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("train", flag.ContinueOnError)
 	dsPath := fs.String("dataset", "dataset.csv", "training dataset CSV (from cmd/harness)")
 	baseMB := fs.Int("base", 256, "monitored base memory size (MB)")
@@ -76,16 +111,17 @@ func cmdTrain(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	base, err := parseBase(*baseMB)
-	if err != nil {
-		return err
-	}
 	ds, err := loadDataset(*dsPath)
 	if err != nil {
 		return err
 	}
+	base, err := parseBase(*baseMB, ds)
+	if err != nil {
+		return err
+	}
 	start := time.Now()
-	pred, err := sizeless.TrainPredictor(ds, sizeless.PredictorConfig{Base: base, Epochs: *epochs})
+	pred, err := sizeless.TrainPredictor(ctx, ds,
+		sizeless.WithBase(base), sizeless.WithEpochs(*epochs))
 	if err != nil {
 		return err
 	}
@@ -105,7 +141,7 @@ func cmdTrain(args []string) error {
 	return nil
 }
 
-func cmdEvaluate(args []string) error {
+func cmdEvaluate(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("evaluate", flag.ContinueOnError)
 	dsPath := fs.String("dataset", "dataset.csv", "dataset CSV")
 	baseMB := fs.Int("base", 256, "base memory size (MB)")
@@ -115,18 +151,18 @@ func cmdEvaluate(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	base, err := parseBase(*baseMB)
+	ds, err := loadDataset(*dsPath)
 	if err != nil {
 		return err
 	}
-	ds, err := loadDataset(*dsPath)
+	base, err := parseBase(*baseMB, ds)
 	if err != nil {
 		return err
 	}
 	cfg := core.DefaultModelConfig(base)
 	cfg.Sizes = ds.Sizes
 	cfg.Epochs = *epochs
-	m, err := core.CrossValidate(ds, cfg, *folds, *iters, 1)
+	m, err := core.CrossValidate(ctx, ds, cfg, *folds, *iters, 1)
 	if err != nil {
 		return err
 	}
@@ -135,24 +171,29 @@ func cmdEvaluate(args []string) error {
 	return nil
 }
 
-func cmdRecommend(args []string) error {
+func cmdRecommend(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("recommend", flag.ContinueOnError)
 	modelPath := fs.String("model", "model.json", "trained model path")
 	dsPath := fs.String("dataset", "dataset.csv", "dataset CSV holding the function's monitoring data")
 	fn := fs.String("function", "", "function ID to recommend for")
 	tradeoff := fs.Float64("t", 0.75, "cost/performance tradeoff in [0,1]")
+	providerName := fs.String("provider", platform.AWSLambdaName, "pricing/platform provider (see 'sizeless providers')")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *fn == "" {
 		return fmt.Errorf("recommend: -function is required")
 	}
+	provider, err := sizeless.ProviderByName(*providerName)
+	if err != nil {
+		return err
+	}
 	mf, err := os.Open(*modelPath)
 	if err != nil {
 		return err
 	}
 	defer mf.Close()
-	pred, err := sizeless.LoadPredictor(mf)
+	pred, err := sizeless.LoadPredictor(mf, sizeless.WithProvider(provider))
 	if err != nil {
 		return err
 	}
@@ -175,7 +216,8 @@ func cmdRecommend(args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("function %s (monitored at %v, t=%.2f)\n", *fn, pred.Base(), *tradeoff)
+	fmt.Printf("function %s (monitored at %v, t=%.2f, provider %s)\n",
+		*fn, pred.Base(), *tradeoff, provider.Name())
 	fmt.Printf("%-8s %12s %14s %8s %8s %8s\n", "memory", "pred time", "cost/1M", "S_cost", "S_perf", "S_total")
 	for _, o := range rec.Options {
 		fmt.Printf("%-8v %11.1fms %13.2f$ %8.3f %8.3f %8.3f\n",
@@ -185,26 +227,36 @@ func cmdRecommend(args []string) error {
 	return nil
 }
 
-func cmdDemo(args []string) error {
+func cmdDemo(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("demo", flag.ContinueOnError)
 	functions := fs.Int("functions", 120, "synthetic training functions")
+	providerName := fs.String("provider", platform.AWSLambdaName, "platform provider (see 'sizeless providers')")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	fmt.Println("1/3 generating training dataset (simulated measurement campaign)...")
-	ds, err := sizeless.GenerateDataset(sizeless.DatasetConfig{
-		Functions: *functions,
-		Rate:      10,
-		Duration:  8 * time.Second,
-		Seed:      1,
-	})
+	provider, err := sizeless.ProviderByName(*providerName)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("1/3 generating training dataset on %s (simulated measurement campaign)...\n", provider.Name())
+	ds, err := sizeless.GenerateDataset(ctx,
+		sizeless.WithProvider(provider),
+		sizeless.WithFunctions(*functions),
+		sizeless.WithRate(10),
+		sizeless.WithDuration(8*time.Second),
+		sizeless.WithSeed(1),
+	)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("    %d functions × %d sizes measured\n", len(ds.Rows), len(ds.Sizes))
 
-	fmt.Println("2/3 training the multi-target regression model (base 256MB)...")
-	pred, err := sizeless.TrainPredictor(ds, sizeless.PredictorConfig{Hidden: []int{64, 64}, Epochs: 200})
+	fmt.Println("2/3 training the multi-target regression model...")
+	pred, err := sizeless.TrainPredictor(ctx, ds,
+		sizeless.WithProvider(provider),
+		sizeless.WithHidden(64, 64),
+		sizeless.WithEpochs(200),
+	)
 	if err != nil {
 		return err
 	}

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"testing"
@@ -12,12 +13,12 @@ import (
 // writeTestDataset builds a small dataset CSV for the CLI tests.
 func writeTestDataset(t *testing.T) string {
 	t.Helper()
-	ds, err := sizeless.GenerateDataset(sizeless.DatasetConfig{
-		Functions: 25,
-		Rate:      10,
-		Duration:  4 * time.Second,
-		Seed:      2,
-	})
+	ds, err := sizeless.GenerateDataset(context.Background(),
+		sizeless.WithFunctions(25),
+		sizeless.WithRate(10),
+		sizeless.WithDuration(4*time.Second),
+		sizeless.WithSeed(2),
+	)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -34,39 +35,56 @@ func writeTestDataset(t *testing.T) string {
 }
 
 func TestTrainEvaluateRecommendPipeline(t *testing.T) {
+	ctx := context.Background()
 	dsPath := writeTestDataset(t)
 	modelPath := filepath.Join(t.TempDir(), "model.json")
 
-	if err := run([]string{"train", "-dataset", dsPath, "-epochs", "40", "-out", modelPath}); err != nil {
+	if err := run(ctx, []string{"train", "-dataset", dsPath, "-epochs", "40", "-out", modelPath}); err != nil {
 		t.Fatalf("train: %v", err)
 	}
 	if _, err := os.Stat(modelPath); err != nil {
 		t.Fatalf("model not written: %v", err)
 	}
-	if err := run([]string{"evaluate", "-dataset", dsPath, "-epochs", "30", "-folds", "3"}); err != nil {
+	if err := run(ctx, []string{"evaluate", "-dataset", dsPath, "-epochs", "30", "-folds", "3"}); err != nil {
 		t.Fatalf("evaluate: %v", err)
 	}
-	if err := run([]string{"recommend", "-model", modelPath, "-dataset", dsPath,
+	if err := run(ctx, []string{"recommend", "-model", modelPath, "-dataset", dsPath,
 		"-function", "synthetic-0003", "-t", "0.75"}); err != nil {
 		t.Fatalf("recommend: %v", err)
+	}
+	// The same model recommends under a different provider's pricing.
+	if err := run(ctx, []string{"recommend", "-model", modelPath, "-dataset", dsPath,
+		"-function", "synthetic-0003", "-provider", "azure-functions"}); err != nil {
+		t.Fatalf("recommend -provider: %v", err)
+	}
+}
+
+func TestProvidersSubcommand(t *testing.T) {
+	if err := run(context.Background(), []string{"providers"}); err != nil {
+		t.Fatalf("providers: %v", err)
 	}
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run(nil); err == nil {
+	ctx := context.Background()
+	if err := run(ctx, nil); err == nil {
 		t.Error("no args should error with usage")
 	}
-	if err := run([]string{"frobnicate"}); err == nil {
+	if err := run(ctx, []string{"frobnicate"}); err == nil {
 		t.Error("unknown subcommand should error")
 	}
-	if err := run([]string{"train", "-dataset", "/does/not/exist.csv"}); err == nil {
+	if err := run(ctx, []string{"train", "-dataset", "/does/not/exist.csv"}); err == nil {
 		t.Error("missing dataset should error")
 	}
-	if err := run([]string{"train", "-base", "100"}); err == nil {
+	if err := run(ctx, []string{"train", "-base", "100"}); err == nil {
 		t.Error("invalid base size should error")
 	}
-	if err := run([]string{"recommend", "-model", "nope.json"}); err == nil {
+	if err := run(ctx, []string{"recommend", "-model", "nope.json"}); err == nil {
 		t.Error("recommend without function should error")
+	}
+	if err := run(ctx, []string{"recommend", "-model", "nope.json", "-function", "f",
+		"-provider", "no-such-cloud"}); err == nil {
+		t.Error("unknown provider should error")
 	}
 }
 
@@ -74,7 +92,7 @@ func TestDemo(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs a small measurement campaign")
 	}
-	if err := run([]string{"demo", "-functions", "30"}); err != nil {
+	if err := run(context.Background(), []string{"demo", "-functions", "30"}); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -1,0 +1,157 @@
+package sizeless
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"sizeless/internal/recommender"
+	"sizeless/internal/workload"
+)
+
+// This file keeps the pre-options API alive as thin shims over the
+// context + functional-options entry points. New code should use
+// GenerateDataset, TrainPredictor, MonitorFunction, and
+// Predictor.NewService directly.
+
+// DatasetConfig configures the offline dataset-generation phase.
+//
+// Deprecated: use GenerateDataset with WithFunctions, WithRate,
+// WithDuration, WithSizes, WithSeed, and WithWorkers.
+type DatasetConfig struct {
+	Functions int
+	Rate      float64
+	Duration  time.Duration
+	Sizes     []MemorySize
+	Seed      int64
+	Workers   int
+}
+
+// options converts the legacy struct into the equivalent option slice.
+func (c DatasetConfig) options() []Option {
+	var opts []Option
+	if c.Functions > 0 {
+		opts = append(opts, WithFunctions(c.Functions))
+	}
+	if c.Rate > 0 {
+		opts = append(opts, WithRate(c.Rate))
+	}
+	if c.Duration > 0 {
+		opts = append(opts, WithDuration(c.Duration))
+	}
+	if c.Sizes != nil {
+		opts = append(opts, WithSizes(c.Sizes...))
+	}
+	if c.Seed != 0 {
+		opts = append(opts, WithSeed(c.Seed))
+	}
+	if c.Workers > 0 {
+		opts = append(opts, WithWorkers(c.Workers))
+	}
+	return opts
+}
+
+// GenerateDatasetFromConfig runs the offline measurement campaign from a
+// legacy config struct.
+//
+// Deprecated: use GenerateDataset(ctx, opts...).
+func GenerateDatasetFromConfig(cfg DatasetConfig) (*Dataset, error) {
+	if cfg.Functions <= 0 {
+		return nil, errors.New("sizeless: DatasetConfig.Functions must be positive")
+	}
+	return GenerateDataset(context.Background(), cfg.options()...)
+}
+
+// PredictorConfig configures model training.
+//
+// Deprecated: use TrainPredictor with WithBase, WithHidden, WithEpochs,
+// and WithSeed.
+type PredictorConfig struct {
+	Base   MemorySize
+	Hidden []int
+	Epochs int
+	Seed   int64
+}
+
+func (c PredictorConfig) options() []Option {
+	var opts []Option
+	if c.Base != 0 {
+		opts = append(opts, WithBase(c.Base))
+	}
+	if c.Hidden != nil {
+		opts = append(opts, WithHidden(c.Hidden...))
+	}
+	if c.Epochs > 0 {
+		opts = append(opts, WithEpochs(c.Epochs))
+	}
+	if c.Seed != 0 {
+		opts = append(opts, WithSeed(c.Seed))
+	}
+	return opts
+}
+
+// TrainPredictorFromConfig fits the model from a legacy config struct.
+//
+// Deprecated: use TrainPredictor(ctx, ds, opts...).
+func TrainPredictorFromConfig(ds *Dataset, cfg PredictorConfig) (*Predictor, error) {
+	return TrainPredictor(context.Background(), ds, cfg.options()...)
+}
+
+// MonitorConfig configures online monitoring of a (simulated) production
+// function.
+//
+// Deprecated: use MonitorFunction with WithMemory, WithRate, WithDuration,
+// and WithSeed.
+type MonitorConfig struct {
+	Memory   MemorySize
+	Rate     float64
+	Duration time.Duration
+	Seed     int64
+}
+
+func (c MonitorConfig) options() []Option {
+	var opts []Option
+	if c.Memory != 0 {
+		opts = append(opts, WithMemory(c.Memory))
+	}
+	if c.Rate > 0 {
+		opts = append(opts, WithRate(c.Rate))
+	}
+	if c.Duration > 0 {
+		opts = append(opts, WithDuration(c.Duration))
+	}
+	if c.Seed != 0 {
+		opts = append(opts, WithSeed(c.Seed))
+	}
+	return opts
+}
+
+// MonitorFunctionFromConfig monitors a workload from a legacy config
+// struct.
+//
+// Deprecated: use MonitorFunction(ctx, spec, opts...).
+func MonitorFunctionFromConfig(spec *workload.Spec, cfg MonitorConfig) (Summary, error) {
+	return MonitorFunction(context.Background(), spec, cfg.options()...)
+}
+
+// ServiceConfig configures the continuous recommendation service.
+//
+// Deprecated: use Predictor.NewService with WithTradeoff, WithMinWindow,
+// and WithDrift.
+type ServiceConfig = recommender.Config
+
+// NewServiceFromConfig wraps the predictor in a recommendation service
+// from a legacy config struct.
+//
+// Deprecated: use Predictor.NewService(opts...).
+func (p *Predictor) NewServiceFromConfig(cfg ServiceConfig) (*Service, error) {
+	if cfg.Pricing == nil {
+		cfg.Pricing = p.pricing()
+	}
+	svc, err := recommender.New(p.model, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("sizeless: %w", err)
+	}
+	return svc, nil
+}

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -58,17 +59,22 @@ func searchService(queryFanout int) *workload.Spec {
 func main() {
 	log.SetFlags(0)
 
-	ds, err := sizeless.GenerateDataset(sizeless.DatasetConfig{
-		Functions: 150, Rate: 10, Duration: 8 * time.Second, Seed: 1,
-	})
+	ctx := context.Background()
+	ds, err := sizeless.GenerateDataset(ctx,
+		sizeless.WithFunctions(150),
+		sizeless.WithRate(10),
+		sizeless.WithDuration(8*time.Second),
+		sizeless.WithSeed(1),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
-	pred, err := sizeless.TrainPredictor(ds, sizeless.PredictorConfig{Hidden: []int{64, 64}, Epochs: 250})
+	pred, err := sizeless.TrainPredictor(ctx, ds,
+		sizeless.WithHidden(64, 64), sizeless.WithEpochs(250))
 	if err != nil {
 		log.Fatal(err)
 	}
-	svc, err := pred.NewService(sizeless.ServiceConfig{MinWindow: 150})
+	svc, err := pred.NewService(sizeless.WithMinWindow(150))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -80,7 +86,7 @@ func main() {
 		log.Fatal(err)
 	}
 	for w := 0; w+150 <= len(steady) && w < 450; w += 150 {
-		st, err := svc.Ingest("search-service", steady[w:w+150])
+		st, err := svc.Ingest(ctx, "search-service", steady[w:w+150])
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -94,7 +100,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	st, err := svc.Ingest("search-service", shifted[:150])
+	st, err := svc.Ingest(ctx, "search-service", shifted[:150])
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,80 +1,151 @@
-// Platform-recommender scenario: the cloud-provider use case from the
-// paper's introduction. Because Sizeless needs only passive monitoring
-// data, a provider can run it fleet-wide — like AWS Compute Optimizer for
-// VMs — without ever executing customer code in performance tests.
+// Platform-recommender scenario: the same workloads, three clouds, three
+// different answers.
 //
-// This example sweeps all 27 functions of the four case-study applications
-// (Airline Booking, Facial Recognition, Event Processing, Hello Retail),
-// each observed at 256 MB only, and prints the fleet-wide recommendation
-// report a provider console would show.
+// Provider pricing and resource models diverge enough that the optimal
+// memory size is not portable: AWS scales CPU linearly and bills per
+// millisecond, GCP gen1 bundles CPU with coarse memory tiers and bills per
+// 100 ms, Azure's consumption plan caps CPU at one core and charges a
+// 100 ms minimum. This example trains one predictor per provider (each on
+// a dataset measured on that provider's simulated platform), monitors the
+// same three production workloads once per cloud, and prints the
+// per-cloud recommendations side by side — the multi-cloud sizing console
+// a platform team would run.
 //
 // Run with: go run ./examples/platform-recommender
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
 
 	"sizeless"
-	"sizeless/internal/apps"
+	"sizeless/internal/services"
+	"sizeless/internal/workload"
 )
+
+// fleet returns the production workloads to size: CPU-bound, service-bound,
+// and mixed — the three regimes where clouds disagree the most.
+func fleet() []*workload.Spec {
+	return []*workload.Spec{
+		{
+			Name: "image-resizer",
+			Ops: []workload.Op{
+				workload.ServiceOp{Service: services.S3, Op: "GetObject", Calls: 1, RequestKB: 0.5, ResponseKB: 600},
+				workload.CPUOp{Label: "resize", WorkMs: 120, Parallelism: 1, TransientAllocMB: 50},
+				workload.ServiceOp{Service: services.S3, Op: "PutObject", Calls: 1, RequestKB: 80, ResponseKB: 0.5},
+			},
+			BaseHeapMB: 35, CodeMB: 5, PayloadKB: 2, ResponseKB: 1, NoiseCoV: 0.12,
+		},
+		{
+			Name: "order-api",
+			Ops: []workload.Op{
+				workload.CPUOp{Label: "parse", WorkMs: 8, Parallelism: 1, TransientAllocMB: 4},
+				workload.ServiceOp{Service: services.DynamoDB, Op: "Query", Calls: 3, RequestKB: 1, ResponseKB: 12},
+				workload.ServiceOp{Service: services.DynamoDB, Op: "PutItem", Calls: 1, RequestKB: 4, ResponseKB: 0.5},
+			},
+			BaseHeapMB: 30, CodeMB: 3, PayloadKB: 3, ResponseKB: 2, NoiseCoV: 0.12,
+		},
+		{
+			Name: "report-builder",
+			Ops: []workload.Op{
+				workload.CPUOp{Label: "aggregate", WorkMs: 300, Parallelism: 1, TransientAllocMB: 70},
+				workload.FileWriteOp{MB: 6},
+			},
+			BaseHeapMB: 40, CodeMB: 4, PayloadKB: 1, ResponseKB: 2, NoiseCoV: 0.1,
+		},
+	}
+}
 
 func main() {
 	log.SetFlags(0)
+	ctx := context.Background()
 
-	// Offline: the provider trains once on its synthetic corpus.
-	fmt.Println("provider-side offline training...")
-	ds, err := sizeless.GenerateDataset(sizeless.DatasetConfig{
-		Functions: 180,
-		Rate:      10,
-		Duration:  8 * time.Second,
-		Seed:      1,
-	})
-	if err != nil {
-		log.Fatal(err)
+	providers := []sizeless.Provider{
+		sizeless.AWSLambda(),
+		sizeless.GCPCloudFunctions(),
+		sizeless.AzureFunctions(),
 	}
-	pred, err := sizeless.TrainPredictor(ds, sizeless.PredictorConfig{
-		Hidden: []int{64, 64},
-		Epochs: 250,
-	})
-	if err != nil {
-		log.Fatal(err)
+	specs := fleet()
+
+	// best[workload][provider] = recommended size.
+	best := make(map[string]map[string]sizeless.MemorySize, len(specs))
+	for _, spec := range specs {
+		best[spec.Name] = make(map[string]sizeless.MemorySize, len(providers))
 	}
 
-	// Online: every customer function is observed at its deployed size.
-	fmt.Println("scanning customer fleet (27 functions, 4 applications)...")
-	fmt.Printf("\n%-20s %-24s %10s %10s %9s\n",
-		"application", "function", "now(256MB)", "predicted", "recommend")
-	var moved int
-	for _, app := range apps.All() {
-		for _, spec := range app.Functions {
-			summary, err := sizeless.MonitorFunction(spec, sizeless.MonitorConfig{
-				Memory:   sizeless.Mem256,
-				Rate:     10,
-				Duration: 20 * time.Second,
-				Seed:     5,
-			})
+	for _, provider := range providers {
+		fmt.Printf("=== %s ===\n", provider.Name())
+		fmt.Printf("offline: measuring + training on the %s platform model...\n", provider.Name())
+		ds, err := sizeless.GenerateDataset(ctx,
+			sizeless.WithProvider(provider),
+			sizeless.WithFunctions(120),
+			sizeless.WithRate(10),
+			sizeless.WithDuration(8*time.Second),
+			sizeless.WithSeed(1),
+		)
+		if err != nil {
+			log.Fatal(err)
+		}
+		pred, err := sizeless.TrainPredictor(ctx, ds,
+			sizeless.WithProvider(provider),
+			sizeless.WithHidden(64, 64),
+			sizeless.WithEpochs(250),
+		)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		// Online: monitor every workload once at the provider's base size,
+		// then size the whole fleet in one batch call.
+		summaries := make([]sizeless.Summary, len(specs))
+		for i, spec := range specs {
+			summaries[i], err = sizeless.MonitorFunction(ctx, spec,
+				sizeless.WithProvider(provider),
+				sizeless.WithMemory(pred.Base()),
+				sizeless.WithRate(10),
+				sizeless.WithDuration(20*time.Second),
+				sizeless.WithSeed(5),
+			)
 			if err != nil {
 				log.Fatal(err)
 			}
-			rec, err := pred.Recommend(summary, 0.75)
-			if err != nil {
-				log.Fatal(err)
-			}
-			var predicted float64
-			for _, o := range rec.Options {
-				if o.Memory == rec.Best {
-					predicted = o.ExecTimeMs
+		}
+		recs, err := pred.RecommendBatch(ctx, summaries, 0.75)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		fmt.Printf("%-16s %12s %12s %12s %10s\n",
+			"function", "monitored", "pred@best", "cost/1M", "recommend")
+		for i, spec := range specs {
+			var predicted, cost float64
+			for _, o := range recs[i].Options {
+				if o.Memory == recs[i].Best {
+					predicted, cost = o.ExecTimeMs, o.Cost
 				}
 			}
-			if rec.Best != sizeless.Mem256 {
-				moved++
-			}
-			fmt.Printf("%-20s %-24s %8.1fms %8.1fms %9v\n",
-				app.Name, spec.Name, summary.Mean[0], predicted, rec.Best)
+			fmt.Printf("%-16s %10.1fms %10.1fms %11.2f$ %10v\n",
+				spec.Name, summaries[i].Mean[0], predicted, cost*1e6, recs[i].Best)
+			best[spec.Name][provider.Name()] = recs[i].Best
 		}
+		fmt.Println()
 	}
-	fmt.Printf("\n%d of 27 functions would move off the default size — the paper's\n", moved)
-	fmt.Println("survey [17] found 47% of production functions never leave the default.")
+
+	fmt.Println("=== cross-provider comparison (t=0.75) ===")
+	fmt.Printf("%-16s", "function")
+	for _, p := range providers {
+		fmt.Printf(" %18s", p.Name())
+	}
+	fmt.Println()
+	for _, spec := range specs {
+		fmt.Printf("%-16s", spec.Name)
+		for _, p := range providers {
+			fmt.Printf(" %18v", best[spec.Name][p.Name()])
+		}
+		fmt.Println()
+	}
+	fmt.Println("\nthe same monitored workload earns a different size per cloud —")
+	fmt.Println("pricing granularity, CPU-share curves, and grid limits all move the optimum.")
 }

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -23,21 +24,22 @@ import (
 
 func main() {
 	log.SetFlags(0)
+	ctx := context.Background()
 
 	// Offline phase.
-	ds, err := sizeless.GenerateDataset(sizeless.DatasetConfig{
-		Functions: 150,
-		Rate:      10,
-		Duration:  8 * time.Second,
-		Seed:      1,
-	})
+	ds, err := sizeless.GenerateDataset(ctx,
+		sizeless.WithFunctions(150),
+		sizeless.WithRate(10),
+		sizeless.WithDuration(8*time.Second),
+		sizeless.WithSeed(1),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
-	pred, err := sizeless.TrainPredictor(ds, sizeless.PredictorConfig{
-		Hidden: []int{64, 64},
-		Epochs: 250,
-	})
+	pred, err := sizeless.TrainPredictor(ctx, ds,
+		sizeless.WithHidden(64, 64),
+		sizeless.WithEpochs(250),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -60,12 +62,12 @@ func main() {
 	}
 
 	// Online phase: one monitored size.
-	summary, err := sizeless.MonitorFunction(orderProcessor, sizeless.MonitorConfig{
-		Memory:   sizeless.Mem256,
-		Rate:     15,
-		Duration: 30 * time.Second,
-		Seed:     11,
-	})
+	summary, err := sizeless.MonitorFunction(ctx, orderProcessor,
+		sizeless.WithMemory(sizeless.Mem256),
+		sizeless.WithRate(15),
+		sizeless.WithDuration(30*time.Second),
+		sizeless.WithSeed(11),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -78,12 +80,12 @@ func main() {
 	fmt.Println("validating against dedicated measurements of every size...")
 	measured := make(map[sizeless.MemorySize]float64, 6)
 	for _, m := range sizeless.StandardSizes() {
-		s, err := sizeless.MonitorFunction(orderProcessor, sizeless.MonitorConfig{
-			Memory:   m,
-			Rate:     15,
-			Duration: 30 * time.Second,
-			Seed:     11,
-		})
+		s, err := sizeless.MonitorFunction(ctx, orderProcessor,
+			sizeless.WithMemory(m),
+			sizeless.WithRate(15),
+			sizeless.WithDuration(30*time.Second),
+			sizeless.WithSeed(11),
+		)
 		if err != nil {
 			log.Fatal(err)
 		}

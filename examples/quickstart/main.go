@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -20,24 +21,25 @@ import (
 
 func main() {
 	log.SetFlags(0)
+	ctx := context.Background()
 
 	// ---- Offline phase (done once, by the platform operator) ----
 	fmt.Println("training dataset: 150 synthetic functions × 6 memory sizes...")
-	ds, err := sizeless.GenerateDataset(sizeless.DatasetConfig{
-		Functions: 150,
-		Rate:      10,
-		Duration:  8 * time.Second,
-		Seed:      1,
-	})
+	ds, err := sizeless.GenerateDataset(ctx,
+		sizeless.WithFunctions(150),
+		sizeless.WithRate(10),
+		sizeless.WithDuration(8*time.Second),
+		sizeless.WithSeed(1),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	pred, err := sizeless.TrainPredictor(ds, sizeless.PredictorConfig{
-		Base:   sizeless.Mem256,
-		Hidden: []int{64, 64},
-		Epochs: 250,
-	})
+	pred, err := sizeless.TrainPredictor(ctx, ds,
+		sizeless.WithBase(sizeless.Mem256),
+		sizeless.WithHidden(64, 64),
+		sizeless.WithEpochs(250),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -60,12 +62,12 @@ func main() {
 	}
 
 	fmt.Println("monitoring 'thumbnailer' in production at 256MB...")
-	summary, err := sizeless.MonitorFunction(thumbnailer, sizeless.MonitorConfig{
-		Memory:   sizeless.Mem256,
-		Rate:     10,
-		Duration: 30 * time.Second,
-		Seed:     7,
-	})
+	summary, err := sizeless.MonitorFunction(ctx, thumbnailer,
+		sizeless.WithMemory(sizeless.Mem256),
+		sizeless.WithRate(10),
+		sizeless.WithDuration(30*time.Second),
+		sizeless.WithSeed(7),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -20,20 +21,21 @@ import (
 
 func main() {
 	log.SetFlags(0)
+	ctx := context.Background()
 
-	ds, err := sizeless.GenerateDataset(sizeless.DatasetConfig{
-		Functions: 150,
-		Rate:      10,
-		Duration:  8 * time.Second,
-		Seed:      1,
-	})
+	ds, err := sizeless.GenerateDataset(ctx,
+		sizeless.WithFunctions(150),
+		sizeless.WithRate(10),
+		sizeless.WithDuration(8*time.Second),
+		sizeless.WithSeed(1),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
-	pred, err := sizeless.TrainPredictor(ds, sizeless.PredictorConfig{
-		Hidden: []int{64, 64},
-		Epochs: 250,
-	})
+	pred, err := sizeless.TrainPredictor(ctx, ds,
+		sizeless.WithHidden(64, 64),
+		sizeless.WithEpochs(250),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -51,12 +53,12 @@ func main() {
 		ResponseKB: 2,
 		NoiseCoV:   0.1,
 	}
-	summary, err := sizeless.MonitorFunction(reporter, sizeless.MonitorConfig{
-		Memory:   sizeless.Mem256,
-		Rate:     5,
-		Duration: 40 * time.Second,
-		Seed:     13,
-	})
+	summary, err := sizeless.MonitorFunction(ctx, reporter,
+		sizeless.WithMemory(sizeless.Mem256),
+		sizeless.WithRate(5),
+		sizeless.WithDuration(40*time.Second),
+		sizeless.WithSeed(13),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,3 @@
+module sizeless
+
+go 1.24

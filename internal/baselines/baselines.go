@@ -59,7 +59,7 @@ type Result struct {
 
 // PowerTuning measures every size and optimizes directly — the exhaustive
 // baseline.
-func PowerTuning(m Measurer, sizes []platform.MemorySize, pricing platform.PricingModel, tradeoff float64) (Result, error) {
+func PowerTuning(m Measurer, sizes []platform.MemorySize, pricing platform.Pricer, tradeoff float64) (Result, error) {
 	if len(sizes) == 0 {
 		return Result{}, errors.New("baselines: no sizes")
 	}
@@ -118,7 +118,7 @@ func (c coseModel) predict(m platform.MemorySize) float64 {
 // budget (the paper's point: COSE needs fewer measurements than Power
 // Tuning but still several). Budget must be at least 2; the default used in
 // the evaluation is 4.
-func COSE(m Measurer, sizes []platform.MemorySize, res platform.ResourceModel, pricing platform.PricingModel, tradeoff float64, budget int) (Result, error) {
+func COSE(m Measurer, sizes []platform.MemorySize, res platform.ResourceModel, pricing platform.Pricer, tradeoff float64, budget int) (Result, error) {
 	if len(sizes) < 2 {
 		return Result{}, errors.New("baselines: COSE needs at least two candidate sizes")
 	}
@@ -205,7 +205,7 @@ func COSE(m Measurer, sizes []platform.MemorySize, res platform.ResourceModel, p
 // degree-2 polynomial in inverse memory — the profiler+regression scheme of
 // the BATCH framework. profileSizes defaults to {smallest, geometric
 // middle, largest} when nil.
-func BATCH(m Measurer, sizes []platform.MemorySize, pricing platform.PricingModel, tradeoff float64, profileSizes []platform.MemorySize) (Result, error) {
+func BATCH(m Measurer, sizes []platform.MemorySize, pricing platform.Pricer, tradeoff float64, profileSizes []platform.MemorySize) (Result, error) {
 	if len(sizes) < 3 {
 		return Result{}, errors.New("baselines: BATCH needs at least three candidate sizes")
 	}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"math"
 	"sync"
 	"testing"
@@ -45,7 +46,7 @@ func testDataset(t *testing.T) *dataset.Dataset {
 			Seed:     1,
 			Workers:  8,
 		}
-		dsVal, dsErr = harness.BuildDataset(opts, specs)
+		dsVal, dsErr = harness.BuildDataset(context.Background(), opts, specs)
 	})
 	if dsErr != nil {
 		t.Fatalf("building test dataset: %v", dsErr)
@@ -63,7 +64,7 @@ func smallConfig(base platform.MemorySize) ModelConfig {
 
 func TestTrainAndPredictLearnsScaling(t *testing.T) {
 	ds := testDataset(t)
-	model, err := Train(ds, smallConfig(platform.Mem256))
+	model, err := Train(context.Background(), ds, smallConfig(platform.Mem256))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -106,7 +107,7 @@ func TestTrainAndPredictLearnsScaling(t *testing.T) {
 
 func TestPredictReturnsAllSizes(t *testing.T) {
 	ds := testDataset(t)
-	model, err := Train(ds, smallConfig(platform.Mem256))
+	model, err := Train(context.Background(), ds, smallConfig(platform.Mem256))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -131,7 +132,7 @@ func TestPredictReturnsAllSizes(t *testing.T) {
 
 func TestPredictErrorCases(t *testing.T) {
 	ds := testDataset(t)
-	model, err := Train(ds, smallConfig(platform.Mem256))
+	model, err := Train(context.Background(), ds, smallConfig(platform.Mem256))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -143,17 +144,17 @@ func TestPredictErrorCases(t *testing.T) {
 
 func TestTrainErrors(t *testing.T) {
 	empty := dataset.New(nil)
-	if _, err := Train(empty, smallConfig(platform.Mem256)); err == nil {
+	if _, err := Train(context.Background(), empty, smallConfig(platform.Mem256)); err == nil {
 		t.Error("empty dataset should error")
 	}
 	ds := testDataset(t)
 	cfg := smallConfig(platform.Mem256)
 	cfg.Sizes = []platform.MemorySize{platform.Mem256} // no targets
-	if _, err := Train(ds, cfg); err == nil {
+	if _, err := Train(context.Background(), ds, cfg); err == nil {
 		t.Error("no target sizes should error")
 	}
 	cfg = smallConfig(platform.MemorySize(192)) // unmeasured base
-	if _, err := Train(ds, cfg); err == nil {
+	if _, err := Train(context.Background(), ds, cfg); err == nil {
 		t.Error("unmeasured base should error")
 	}
 }
@@ -162,7 +163,7 @@ func TestCrossValidate(t *testing.T) {
 	ds := testDataset(t)
 	cfg := smallConfig(platform.Mem256)
 	cfg.Epochs = 200
-	m, err := CrossValidate(ds, cfg, 4, 1, 7)
+	m, err := CrossValidate(context.Background(), ds, cfg, 4, 1, 7)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -182,7 +183,7 @@ func TestCrossValidate(t *testing.T) {
 
 func TestSaveLoadRoundTrip(t *testing.T) {
 	ds := testDataset(t)
-	model, err := Train(ds, smallConfig(platform.Mem256))
+	model, err := Train(context.Background(), ds, smallConfig(platform.Mem256))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -229,7 +230,7 @@ func TestSFSEvaluatorAndForwardSelect(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	eval := SFSEvaluator(cfg, 3, 11)
+	eval := SFSEvaluator(context.Background(), cfg, 3, 11)
 	res, err := features.ForwardSelect(x, y, 6, 3, eval) // first 6 candidates, pick 3
 	if err != nil {
 		t.Fatal(err)
@@ -259,7 +260,7 @@ func TestGridSearchRanksConfigs(t *testing.T) {
 	if grid.Size() != 4 {
 		t.Fatalf("grid size = %d, want 4", grid.Size())
 	}
-	results, err := GridSearch(ds, base, grid, 3, 5)
+	results, err := GridSearch(context.Background(), ds, base, grid, 3, 5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -285,7 +286,7 @@ func TestPaperGridMatchesTable2(t *testing.T) {
 
 func TestPartialDependence(t *testing.T) {
 	ds := testDataset(t)
-	model, err := Train(ds, smallConfig(platform.Mem128))
+	model, err := Train(context.Background(), ds, smallConfig(platform.Mem128))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -339,13 +340,13 @@ func TestPartialDependence(t *testing.T) {
 
 func TestFineTune(t *testing.T) {
 	ds := testDataset(t)
-	model, err := Train(ds, smallConfig(platform.Mem256))
+	model, err := Train(context.Background(), ds, smallConfig(platform.Mem256))
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Fine-tune on a subset (a stand-in for a small new-platform dataset).
 	subset := ds.Subset([]int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9})
-	tuned, err := FineTune(model, subset, FineTuneOptions{Epochs: 30})
+	tuned, err := FineTune(context.Background(), model, subset, FineTuneOptions{Epochs: 30})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -378,7 +379,7 @@ func TestFineTune(t *testing.T) {
 		}
 	}
 	// Errors.
-	if _, err := FineTune(model, dataset.New(nil), FineTuneOptions{}); err == nil {
+	if _, err := FineTune(context.Background(), model, dataset.New(nil), FineTuneOptions{}); err == nil {
 		t.Error("empty fine-tune dataset should error")
 	}
 }

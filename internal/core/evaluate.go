@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	goruntime "runtime"
@@ -25,7 +26,7 @@ type CVMetrics struct {
 // CrossValidate runs `iterations` independent rounds of k-fold
 // cross-validation with random splits (the paper uses ten iterations of
 // five-fold CV, §3.4) and returns pooled metrics.
-func CrossValidate(ds *dataset.Dataset, cfg ModelConfig, k, iterations int, seed int64) (CVMetrics, error) {
+func CrossValidate(ctx context.Context, ds *dataset.Dataset, cfg ModelConfig, k, iterations int, seed int64) (CVMetrics, error) {
 	cfg = cfg.withDefaults()
 	if iterations <= 0 {
 		iterations = 1
@@ -64,7 +65,7 @@ func CrossValidate(ds *dataset.Dataset, cfg ModelConfig, k, iterations int, seed
 			test := ds.Subset(job.fold)
 			foldCfg := cfg
 			foldCfg.Seed = cfg.Seed + int64(job.it*foldsPerIt+job.fi)
-			model, err := Train(train, foldCfg)
+			model, err := Train(ctx, train, foldCfg)
 			if err != nil {
 				errsPer[j] = err
 				return
@@ -141,7 +142,7 @@ func metricsFromPairs(preds, truths []float64) (CVMetrics, error) {
 // for sequential forward selection: it trains a (typically smaller) network
 // on the provided candidate columns under k-fold CV and returns the MSE.
 // The candidate matrices arrive unscaled; scaling happens per fold.
-func SFSEvaluator(cfg ModelConfig, k int, seed int64) features.Evaluator {
+func SFSEvaluator(ctx context.Context, cfg ModelConfig, k int, seed int64) features.Evaluator {
 	cfg = cfg.withDefaults()
 	return func(x [][]float64, y [][]float64) (float64, error) {
 		if len(x) < k {
@@ -170,7 +171,7 @@ func SFSEvaluator(cfg ModelConfig, k int, seed int64) features.Evaluator {
 					trY = append(trY, y[i])
 				}
 			}
-			scaler, net, err := fitAndTrain(trX, trY, cfg, int64(fi))
+			scaler, net, err := fitAndTrain(ctx, trX, trY, cfg, int64(fi))
 			if err != nil {
 				return 0, err
 			}
@@ -198,7 +199,7 @@ func SFSEvaluator(cfg ModelConfig, k int, seed int64) features.Evaluator {
 // fitAndTrain standardizes trX and trains a network per cfg on the
 // candidate columns. Used by the SFS evaluator, where the input width
 // varies per candidate set.
-func fitAndTrain(trX, trY [][]float64, cfg ModelConfig, seedOffset int64) (*nn.Scaler, *nn.Network, error) {
+func fitAndTrain(ctx context.Context, trX, trY [][]float64, cfg ModelConfig, seedOffset int64) (*nn.Scaler, *nn.Network, error) {
 	scaler, err := nn.FitScaler(trX)
 	if err != nil {
 		return nil, nil, fmt.Errorf("core: %w", err)
@@ -222,7 +223,7 @@ func fitAndTrain(trX, trY [][]float64, cfg ModelConfig, seedOffset int64) (*nn.S
 	if err != nil {
 		return nil, nil, fmt.Errorf("core: %w", err)
 	}
-	if _, err := net.Train(xs, trY); err != nil {
+	if _, err := net.Train(ctx, xs, trY); err != nil {
 		return nil, nil, fmt.Errorf("core: %w", err)
 	}
 	return scaler, net, nil

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 
@@ -24,7 +25,7 @@ type FineTuneOptions struct {
 // smaller) new dataset: the first layers are frozen, the rest retrain on
 // the new data. The original model is left untouched; the feature scaler is
 // retained from the original so inputs stay on the same scale.
-func FineTune(m *Model, ds *dataset.Dataset, opts FineTuneOptions) (*Model, error) {
+func FineTune(ctx context.Context, m *Model, ds *dataset.Dataset, opts FineTuneOptions) (*Model, error) {
 	if len(ds.Rows) == 0 {
 		return nil, errors.New("core: fine-tune dataset is empty")
 	}
@@ -63,7 +64,7 @@ func FineTune(m *Model, ds *dataset.Dataset, opts FineTuneOptions) (*Model, erro
 		if err := net.SetFrozenLayers(freeze); err != nil {
 			return nil, fmt.Errorf("core: fine-tune: %w", err)
 		}
-		if _, err := net.TrainEpochs(xs, y, opts.Epochs); err != nil {
+		if _, err := net.TrainEpochs(ctx, xs, y, opts.Epochs); err != nil {
 			return nil, fmt.Errorf("core: fine-tune: %w", err)
 		}
 	}

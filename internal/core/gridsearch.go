@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"sort"
 
@@ -43,7 +44,7 @@ type GridResult struct {
 
 // GridSearch evaluates every configuration in the grid with k-fold CV and
 // returns the results sorted by ascending MSE (best first).
-func GridSearch(ds *dataset.Dataset, base ModelConfig, grid GridSpec, k int, seed int64) ([]GridResult, error) {
+func GridSearch(ctx context.Context, ds *dataset.Dataset, base ModelConfig, grid GridSpec, k int, seed int64) ([]GridResult, error) {
 	if grid.Size() == 0 {
 		return nil, errors.New("core: empty hyperparameter grid")
 	}
@@ -63,7 +64,7 @@ func GridSearch(ds *dataset.Dataset, base ModelConfig, grid GridSpec, k int, see
 							for i := range cfg.Hidden {
 								cfg.Hidden[i] = neurons
 							}
-							m, err := CrossValidate(ds, cfg, k, 1, seed)
+							m, err := CrossValidate(ctx, ds, cfg, k, 1, seed)
 							if err != nil {
 								return nil, err
 							}

@@ -6,12 +6,15 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
 	"math"
+	goruntime "runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"sizeless/internal/dataset"
 	"sizeless/internal/features"
@@ -98,8 +101,9 @@ type Model struct {
 	nets    []*nn.Network
 }
 
-// Train fits a model on the dataset.
-func Train(ds *dataset.Dataset, cfg ModelConfig) (*Model, error) {
+// Train fits a model on the dataset. Cancelling ctx aborts training at
+// the next epoch boundary of each ensemble member.
+func Train(ctx context.Context, ds *dataset.Dataset, cfg ModelConfig) (*Model, error) {
 	cfg = cfg.withDefaults()
 	if len(ds.Rows) == 0 {
 		return nil, errors.New("core: empty training dataset")
@@ -151,7 +155,7 @@ func Train(ds *dataset.Dataset, cfg ModelConfig) (*Model, error) {
 				errs[e] = err
 				return
 			}
-			if _, err := net.Train(xs, y); err != nil {
+			if _, err := net.Train(ctx, xs, y); err != nil {
 				errs[e] = err
 				return
 			}
@@ -195,6 +199,13 @@ func (m *Model) predictVector(vec []float64) ([]float64, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
+	return m.ratiosFromScaled(scaled)
+}
+
+// ratiosFromScaled runs the ensemble on an already-scaled feature vector
+// and returns the clamped mean ratios. Read-only over the model: safe for
+// concurrent use.
+func (m *Model) ratiosFromScaled(scaled []float64) ([]float64, error) {
 	ratios := make([]float64, len(m.targets))
 	for _, net := range m.nets {
 		p, err := net.Predict(scaled)
@@ -220,6 +231,37 @@ func (m *Model) predictVector(vec []float64) ([]float64, error) {
 	return ratios, nil
 }
 
+// ratiosFromScaledInto is the allocation-free variant of ratiosFromScaled:
+// activations go through scratch and the clamped ensemble mean lands in
+// ratios. Neither buffer may be shared across goroutines.
+func (m *Model) ratiosFromScaledInto(scaled []float64, scratch nn.Scratch, ratios []float64) error {
+	for i := range ratios {
+		ratios[i] = 0
+	}
+	for _, net := range m.nets {
+		p, err := net.PredictInto(scaled, scratch)
+		if err != nil {
+			return fmt.Errorf("core: %w", err)
+		}
+		for i, v := range p {
+			ratios[i] += v
+		}
+	}
+	n := float64(len(m.nets))
+	const minRatio, maxRatio = 0.02, 50.0
+	for i := range ratios {
+		r := ratios[i] / n
+		if r < minRatio {
+			r = minRatio
+		}
+		if r > maxRatio {
+			r = maxRatio
+		}
+		ratios[i] = r
+	}
+	return nil
+}
+
 // Predict returns the execution time in milliseconds for every size in the
 // grid. The base size reports the monitored value itself; target sizes use
 // the predicted ratios. Predictions are projected onto the physically valid
@@ -236,12 +278,104 @@ func (m *Model) Predict(s monitoring.Summary) (map[platform.MemorySize]float64, 
 	if err != nil {
 		return nil, err
 	}
+	return m.timesFromRatios(baseMs, ratios), nil
+}
+
+// timesFromRatios assembles the per-size execution-time map from the base
+// measurement and the predicted ratios, applying the isotonic projection.
+func (m *Model) timesFromRatios(baseMs float64, ratios []float64) map[platform.MemorySize]float64 {
 	out := make(map[platform.MemorySize]float64, len(m.targets)+1)
 	out[m.cfg.Base] = baseMs
 	for i, mem := range m.targets {
 		out[mem] = ratios[i] * baseMs
 	}
 	enforceMonotone(out, m.cfg.Sizes)
+	return out
+}
+
+// PredictBatch predicts execution times for many summaries in one pass —
+// the fleet-scale hot path of a provider-side recommender. Feature
+// extraction and scaling are amortized into single matrix operations, and
+// the ensemble forward passes run concurrently on up to `workers`
+// goroutines (0 = GOMAXPROCS), using allocation-free scratch buffers and
+// an unrolled dot product. Results are positionally aligned with sums and
+// deterministic, matching Predict up to floating-point reassociation (a
+// few ULPs); cancelling ctx abandons unstarted chunks.
+func (m *Model) PredictBatch(ctx context.Context, sums []monitoring.Summary, workers int) ([]map[platform.MemorySize]float64, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if len(sums) == 0 {
+		return nil, nil
+	}
+	// Amortized feature extraction: one raw matrix, one scaling pass.
+	raw := make([][]float64, len(sums))
+	baseMs := make([]float64, len(sums))
+	for i, s := range sums {
+		baseMs[i] = s.Mean[monitoring.ExecutionTime]
+		if baseMs[i] <= 0 {
+			return nil, fmt.Errorf("core: summary %d has non-positive execution time", i)
+		}
+		vec := make([]float64, len(m.cfg.Features))
+		for j, f := range m.cfg.Features {
+			vec[j] = f.Extract(s)
+		}
+		raw[i] = vec
+	}
+	scaled, err := m.scaler.TransformBatch(raw)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+
+	if workers <= 0 {
+		workers = goruntime.GOMAXPROCS(0)
+	}
+	if workers > len(sums) {
+		workers = len(sums)
+	}
+	out := make([]map[platform.MemorySize]float64, len(sums))
+	errs := make([]error, workers)
+	var next atomic.Int64
+	const chunk = 16
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Per-worker scratch: the ensemble shares one shape, so one
+			// buffer set serves every net, making the inner loop
+			// allocation-free apart from the result maps.
+			scratch := m.nets[0].NewScratch()
+			ratios := make([]float64, len(m.targets))
+			for {
+				if ctx.Err() != nil {
+					errs[w] = ctx.Err()
+					return
+				}
+				start := int(next.Add(chunk)) - chunk
+				if start >= len(sums) {
+					return
+				}
+				end := start + chunk
+				if end > len(sums) {
+					end = len(sums)
+				}
+				for i := start; i < end; i++ {
+					if err := m.ratiosFromScaledInto(scaled[i], scratch, ratios); err != nil {
+						errs[w] = err
+						return
+					}
+					out[i] = m.timesFromRatios(baseMs[i], ratios)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("core: batch predict: %w", err)
+		}
+	}
 	return out, nil
 }
 

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -48,7 +49,7 @@ func AblationTargets(lab *Lab, k int) (*AblationTargetsResult, error) {
 		// Variant 1: paper pipeline (ratio targets).
 		rCfg := cfg
 		rCfg.Seed = cfg.Seed + int64(fi)
-		ratioModel, err := core.Train(train, rCfg)
+		ratioModel, err := core.Train(context.Background(), train, rCfg)
 		if err != nil {
 			return nil, err
 		}
@@ -83,7 +84,7 @@ func AblationTargets(lab *Lab, k int) (*AblationTargetsResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		if _, err := absNet.Train(xs, yAbs); err != nil {
+		if _, err := absNet.Train(context.Background(), xs, yAbs); err != nil {
 			return nil, err
 		}
 
@@ -156,10 +157,10 @@ func AblationFeatures(lab *Lab, k int) (*AblationFeaturesResult, error) {
 	f0.Features = features.MeanFeatures()
 
 	res := &AblationFeaturesResult{}
-	if res.F4, err = core.CrossValidate(ds, f4, k, 1, lab.Scale.Seed+37); err != nil {
+	if res.F4, err = core.CrossValidate(context.Background(), ds, f4, k, 1, lab.Scale.Seed+37); err != nil {
 		return nil, err
 	}
-	if res.F0, err = core.CrossValidate(ds, f0, k, 1, lab.Scale.Seed+37); err != nil {
+	if res.F0, err = core.CrossValidate(context.Background(), ds, f0, k, 1, lab.Scale.Seed+37); err != nil {
 		return nil, err
 	}
 	return res, nil
@@ -201,7 +202,7 @@ func AblationIncrements(lab *Lab) (*AblationIncrementsResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	pricing := platform.DefaultPricing()
+	pricing := lab.Pricing()
 
 	res := &AblationIncrementsResult{}
 	for _, cs := range studies {
@@ -219,7 +220,7 @@ func AblationIncrements(lab *Lab) (*AblationIncrementsResult, error) {
 			// interpolation the paper's §5 suggests).
 			xs := make([]float64, 0, len(pred))
 			ys := make([]float64, 0, len(pred))
-			for _, m := range platform.StandardSizes() {
+			for _, m := range lab.Sizes() {
 				xs = append(xs, 1/float64(m))
 				ys = append(ys, pred[m])
 			}

@@ -43,9 +43,9 @@ func BaselineComparison(lab *Lab) (*BaselineComparisonResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	pricing := platform.DefaultPricing()
-	resModel := platform.DefaultResourceModel()
-	sizes := platform.StandardSizes()
+	pricing := lab.Pricing()
+	resModel := lab.Provider().Platform().Resources
+	sizes := lab.Sizes()
 
 	type agg struct {
 		meas    float64

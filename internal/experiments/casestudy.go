@@ -52,7 +52,7 @@ func PredictionErrors(lab *Lab) (*PredictionErrorResult, error) {
 	var grandN int
 	for _, cs := range studies {
 		targets := make([]platform.MemorySize, 0, 5)
-		for _, m := range platform.StandardSizes() {
+		for _, m := range lab.Sizes() {
 			if m != base {
 				targets = append(targets, m)
 			}
@@ -142,6 +142,8 @@ type CaseStudyPrediction struct {
 
 // CaseStudyPredictionsResult reproduces Fig. 6 (two functions per app).
 type CaseStudyPredictionsResult struct {
+	// Sizes is the memory grid the panels cover (the lab provider's grid).
+	Sizes  []platform.MemorySize
 	Panels []CaseStudyPrediction
 }
 
@@ -160,7 +162,7 @@ func CaseStudyPredictions(lab *Lab, selections map[string][]string) (*CaseStudyP
 	if err != nil {
 		return nil, err
 	}
-	res := &CaseStudyPredictionsResult{}
+	res := &CaseStudyPredictionsResult{Sizes: lab.Sizes()}
 	for _, cs := range studies {
 		wanted := selections[cs.App.Name]
 		for _, fnName := range wanted {
@@ -174,7 +176,7 @@ func CaseStudyPredictions(lab *Lab, selections map[string][]string) (*CaseStudyP
 				MeasuredMs:  measured,
 				PredictedMs: make(map[platform.MemorySize]map[platform.MemorySize]float64, 6),
 			}
-			for _, base := range platform.StandardSizes() {
+			for _, base := range lab.Sizes() {
 				model, err := lab.Model(base)
 				if err != nil {
 					return nil, err
@@ -199,12 +201,12 @@ func (r *CaseStudyPredictionsResult) Render() string {
 	for _, panel := range r.Panels {
 		fmt.Fprintf(&b, "%s — %s\n", panel.App, panel.Function)
 		header := []string{"series"}
-		for _, m := range platform.StandardSizes() {
+		for _, m := range r.Sizes {
 			header = append(header, m.String())
 		}
 		t := newTable(header...)
 		row := []string{"measured"}
-		for _, m := range platform.StandardSizes() {
+		for _, m := range r.Sizes {
 			row = append(row, fmt.Sprintf("%.1f", panel.MeasuredMs[m]))
 		}
 		t.addRow(row...)
@@ -215,7 +217,7 @@ func (r *CaseStudyPredictionsResult) Render() string {
 		sort.Slice(bases, func(i, j int) bool { return bases[i] < bases[j] })
 		for _, base := range bases {
 			row := []string{fmt.Sprintf("pred@%v", base)}
-			for _, m := range platform.StandardSizes() {
+			for _, m := range r.Sizes {
 				row = append(row, fmt.Sprintf("%.1f", panel.PredictedMs[base][m]))
 			}
 			t.addRow(row...)

@@ -10,6 +10,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -147,22 +148,49 @@ func (c *CaseStudy) MeasuredTimes(fn string) (map[platform.MemorySize]float64, e
 type Lab struct {
 	Scale Scale
 
+	provider platform.Provider
+
 	mu          sync.Mutex
 	ds          *dataset.Dataset
 	models      map[platform.MemorySize]*core.Model
 	caseStudies []*CaseStudy
 }
 
-// NewLab returns a lab at the given scale.
+// NewLab returns a lab at the given scale on the default (AWS-Lambda-like)
+// provider, reproducing the paper's platform.
 func NewLab(scale Scale) *Lab {
-	return &Lab{Scale: scale, models: make(map[platform.MemorySize]*core.Model)}
+	return NewLabFor(scale, platform.AWSLambda())
+}
+
+// NewLabFor returns a lab whose measurements, pricing, and memory grid all
+// follow the given provider — the hook behind benchreport's -provider
+// flag.
+func NewLabFor(scale Scale, p platform.Provider) *Lab {
+	return &Lab{Scale: scale, provider: p, models: make(map[platform.MemorySize]*core.Model)}
+}
+
+// Provider returns the platform the lab experiments run on.
+func (l *Lab) Provider() platform.Provider { return l.provider }
+
+// Pricing returns the provider's billing scheme.
+func (l *Lab) Pricing() platform.Pricer { return l.provider.Platform().Pricing }
+
+// Sizes returns the provider's prediction grid (the paper's six sizes on
+// AWS).
+func (l *Lab) Sizes() []platform.MemorySize { return l.provider.DefaultSizes() }
+
+// newEnv builds a fresh simulation environment on the lab's provider.
+func (l *Lab) newEnv() *runtime.Env {
+	return runtime.NewEnvFor(l.provider.Platform())
 }
 
 // harnessOpts builds the dataset-generation harness options.
 func (l *Lab) harnessOpts() harness.Options {
 	return harness.Options{
+		Env:      l.newEnv(),
 		Rate:     l.Scale.Rate,
 		Duration: l.Scale.Duration,
+		Sizes:    l.Sizes(),
 		Seed:     l.Scale.Seed,
 		Workers:  l.Scale.Workers,
 	}
@@ -184,7 +212,7 @@ func (l *Lab) Dataset() (*dataset.Dataset, error) {
 	for i, fn := range fns {
 		specs[i] = fn.Spec
 	}
-	ds, err := harness.BuildDataset(l.harnessOpts(), specs)
+	ds, err := harness.BuildDataset(context.Background(), l.harnessOpts(), specs)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: building dataset: %w", err)
 	}
@@ -203,6 +231,7 @@ func (l *Lab) SetDataset(ds *dataset.Dataset) {
 // modelConfig returns the lab's model configuration for a base size.
 func (l *Lab) modelConfig(base platform.MemorySize) core.ModelConfig {
 	cfg := core.DefaultModelConfig(base)
+	cfg.Sizes = l.Sizes()
 	cfg.Hidden = l.Scale.Hidden
 	cfg.Epochs = l.Scale.Epochs
 	cfg.Seed = l.Scale.Seed
@@ -220,7 +249,7 @@ func (l *Lab) Model(base platform.MemorySize) (*core.Model, error) {
 	if m, ok := l.models[base]; ok {
 		return m, nil
 	}
-	m, err := core.Train(ds, l.modelConfig(base))
+	m, err := core.Train(context.Background(), ds, l.modelConfig(base))
 	if err != nil {
 		return nil, fmt.Errorf("experiments: training base %v: %w", base, err)
 	}
@@ -238,7 +267,7 @@ func (l *Lab) CaseStudies() ([]*CaseStudy, error) {
 	}
 	studies := make([]*CaseStudy, 0, 4)
 	for _, app := range apps.All() {
-		env := runtime.NewEnv()
+		env := l.newEnv()
 		env.Drift = app.Drift
 		opts := harness.Options{
 			Env:         env,
@@ -254,7 +283,7 @@ func (l *Lab) CaseStudies() ([]*CaseStudy, error) {
 		}
 		for _, spec := range app.Functions {
 			per := make(map[platform.MemorySize]monitoring.Summary, 6)
-			for _, m := range platform.StandardSizes() {
+			for _, m := range l.Sizes() {
 				sum, err := harness.MeasureRepeated(opts, spec, m)
 				if err != nil {
 					return nil, fmt.Errorf("experiments: measuring %s/%s at %v: %w", app.Name, spec.Name, m, err)

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -41,7 +42,7 @@ func FeatureSelection(lab *Lab, base platform.MemorySize, round1Keep, round2Keep
 	// evaluator, like any practical SFS implementation.
 	cfg.Hidden = []int{32}
 	cfg.Epochs = min(cfg.Epochs, 60)
-	eval := core.SFSEvaluator(cfg, 3, lab.Scale.Seed+11)
+	eval := core.SFSEvaluator(context.Background(), cfg, 3, lab.Scale.Seed+11)
 
 	targets := features.TargetSizes(ds.Sizes, base)
 	y, err := features.Targets(ds, base, targets)
@@ -160,9 +161,9 @@ func CrossValidationTable(lab *Lab, k, iterations int) (*CVTableResult, error) {
 	}
 	res := &CVTableResult{}
 	bestMSE := -1.0
-	for _, base := range platform.StandardSizes() {
+	for _, base := range lab.Sizes() {
 		cfg := lab.modelConfig(base)
-		m, err := core.CrossValidate(ds, cfg, k, iterations, lab.Scale.Seed+17)
+		m, err := core.CrossValidate(context.Background(), ds, cfg, k, iterations, lab.Scale.Seed+17)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: table3 base %v: %w", base, err)
 		}
@@ -210,7 +211,7 @@ func GridSearchTable(lab *Lab, grid *core.GridSpec, folds int) (*GridSearchResul
 		g = core.PaperGrid()
 	}
 	base := lab.modelConfig(platform.Mem256)
-	results, err := core.GridSearch(ds, base, g, folds, lab.Scale.Seed+23)
+	results, err := core.GridSearch(context.Background(), ds, base, g, folds, lab.Scale.Seed+23)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: table2: %w", err)
 	}

@@ -65,9 +65,9 @@ type MotivatingResult struct {
 
 // MotivatingExample measures the four §2 functions across all sizes.
 func MotivatingExample(lab *Lab) (*MotivatingResult, error) {
-	pricing := platform.DefaultPricing()
+	pricing := lab.Pricing()
 	res := &MotivatingResult{
-		Sizes:  platform.StandardSizes(),
+		Sizes:  lab.Sizes(),
 		Points: make(map[string]map[platform.MemorySize]MotivatingPoint),
 	}
 	opts := lab.harnessOpts()
@@ -81,7 +81,7 @@ func MotivatingExample(lab *Lab) (*MotivatingResult, error) {
 			mean := sum.Mean[monitoring.ExecutionTime]
 			per[m] = MotivatingPoint{
 				ExecTimeMs: mean,
-				CostCents:  pricing.CostCents(m, time.Duration(mean*float64(time.Millisecond))),
+				CostCents:  pricing.Cost(m, time.Duration(mean*float64(time.Millisecond))) * 100,
 			}
 		}
 		res.Points[spec.Name] = per

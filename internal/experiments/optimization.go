@@ -33,7 +33,7 @@ func SelectionRanking(lab *Lab) (*SelectionRankingResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	pricing := platform.DefaultPricing()
+	pricing := lab.Pricing()
 
 	res := &SelectionRankingResult{
 		Tradeoffs: []float64{0.75, 0.5, 0.25},
@@ -43,7 +43,7 @@ func SelectionRanking(lab *Lab) (*SelectionRankingResult, error) {
 	for _, t := range res.Tradeoffs {
 		perApp := make(map[string][]int)
 		for _, cs := range studies {
-			hist := make([]int, len(platform.StandardSizes()))
+			hist := make([]int, len(lab.Sizes()))
 			for _, spec := range cs.App.Functions {
 				pred, err := model.Predict(cs.Measured[spec.Name][base])
 				if err != nil {
@@ -133,7 +133,7 @@ func SavingsSpeedup(lab *Lab) (*SavingsResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	pricing := platform.DefaultPricing()
+	pricing := lab.Pricing()
 
 	res := &SavingsResult{Tradeoffs: []float64{0.75, 0.5, 0.25}}
 	res.All = SavingsRow{

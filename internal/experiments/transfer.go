@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -97,11 +98,11 @@ func TransferLearning(lab *Lab) (*TransferLearningResult, error) {
 	if err != nil {
 		return nil, fmt.Errorf("experiments: transfer test set: %w", err)
 	}
-	adaptDS, err := harness.BuildDataset(newOpts, adaptSpecs)
+	adaptDS, err := harness.BuildDataset(context.Background(), newOpts, adaptSpecs)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: transfer adapt measurement: %w", err)
 	}
-	testDS, err := harness.BuildDataset(newOpts, testSpecs)
+	testDS, err := harness.BuildDataset(context.Background(), newOpts, testSpecs)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: transfer test measurement: %w", err)
 	}
@@ -114,7 +115,7 @@ func TransferLearning(lab *Lab) (*TransferLearningResult, error) {
 		return nil, err
 	}
 
-	tuned, err := core.FineTune(orig, adaptDS, core.FineTuneOptions{Epochs: scale.Epochs / 2})
+	tuned, err := core.FineTune(context.Background(), orig, adaptDS, core.FineTuneOptions{Epochs: scale.Epochs / 2})
 	if err != nil {
 		return nil, err
 	}
@@ -122,7 +123,7 @@ func TransferLearning(lab *Lab) (*TransferLearningResult, error) {
 		return nil, err
 	}
 
-	fresh, err := core.Train(adaptDS, lab.modelConfig(base))
+	fresh, err := core.Train(context.Background(), adaptDS, lab.modelConfig(base))
 	if err != nil {
 		return nil, err
 	}

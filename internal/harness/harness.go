@@ -10,6 +10,7 @@
 package harness
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -44,6 +45,10 @@ type Options struct {
 	// Repetitions: how many independent measurement repetitions to run and
 	// average (the case studies use 10, §4). Default 1.
 	Repetitions int
+	// Progress, when non-nil, is invoked after every completed experiment
+	// with the number of finished and total (function × size) cells. Calls
+	// are serialized; the callback must not block for long.
+	Progress func(done, total int)
 }
 
 func (o Options) withDefaults() Options {
@@ -140,11 +145,19 @@ type job struct {
 
 // BuildDataset measures every spec at every size (with repetitions) in
 // parallel and assembles the training dataset. Function hashes are taken
-// from the specs' behaviour hash.
-func BuildDataset(opts Options, specs []*workload.Spec) (*dataset.Dataset, error) {
+// from the specs' behaviour hash. Cancelling ctx stops scheduling new
+// experiments and returns the context's error; results are bit-identical
+// for any worker count while the context stays live.
+func BuildDataset(ctx context.Context, opts Options, specs []*workload.Spec) (*dataset.Dataset, error) {
 	opts = opts.withDefaults()
 	if len(specs) == 0 {
 		return nil, errors.New("harness: no specs to measure")
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("harness: campaign cancelled: %w", err)
 	}
 
 	ds := dataset.New(opts.Sizes)
@@ -158,8 +171,10 @@ func BuildDataset(opts Options, specs []*workload.Spec) (*dataset.Dataset, error
 	}
 
 	jobs := make(chan job)
+	total := len(specs) * len(opts.Sizes)
 	var mu sync.Mutex
 	var firstErr error
+	var done int
 	var wg sync.WaitGroup
 	for w := 0; w < opts.Workers; w++ {
 		wg.Add(1)
@@ -174,19 +189,33 @@ func BuildDataset(opts Options, specs []*workload.Spec) (*dataset.Dataset, error
 					}
 				} else {
 					ds.Rows[j.rowIdx].Summaries[j.mem] = sum
+					done++
+					if opts.Progress != nil {
+						opts.Progress(done, total)
+					}
 				}
 				mu.Unlock()
 			}
 		}()
 	}
+	cancelled := false
+submit:
 	for i, spec := range specs {
 		for _, m := range opts.Sizes {
-			jobs <- job{rowIdx: i, spec: spec, mem: m}
+			select {
+			case jobs <- job{rowIdx: i, spec: spec, mem: m}:
+			case <-ctx.Done():
+				cancelled = true
+				break submit
+			}
 		}
 	}
 	close(jobs)
 	wg.Wait()
 
+	if cancelled {
+		return nil, fmt.Errorf("harness: campaign cancelled: %w", ctx.Err())
+	}
 	if firstErr != nil {
 		return nil, firstErr
 	}

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -97,7 +98,7 @@ func TestBuildDatasetGridComplete(t *testing.T) {
 	opts.Duration = 10 * time.Second
 	specs := []*workload.Spec{mixedSpec("fn-a"), mixedSpec("fn-b")}
 	specs[1].Name = "fn-b"
-	ds, err := BuildDataset(opts, specs)
+	ds, err := BuildDataset(context.Background(), opts, specs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -123,12 +124,12 @@ func TestBuildDatasetDeterministicAcrossWorkerCounts(t *testing.T) {
 	specs[2].Name = "fn-c"
 
 	opts.Workers = 1
-	ds1, err := BuildDataset(opts, specs)
+	ds1, err := BuildDataset(context.Background(), opts, specs)
 	if err != nil {
 		t.Fatal(err)
 	}
 	opts.Workers = 8
-	ds8, err := BuildDataset(opts, specs)
+	ds8, err := BuildDataset(context.Background(), opts, specs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -142,7 +143,7 @@ func TestBuildDatasetDeterministicAcrossWorkerCounts(t *testing.T) {
 }
 
 func TestBuildDatasetEmptyInput(t *testing.T) {
-	if _, err := BuildDataset(testOpts(), nil); err == nil {
+	if _, err := BuildDataset(context.Background(), testOpts(), nil); err == nil {
 		t.Error("empty spec list should error")
 	}
 }

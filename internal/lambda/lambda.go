@@ -66,8 +66,8 @@ func NewDeployment(env *runtime.Env, spec *workload.Spec, mem platform.MemorySiz
 	if err := spec.Validate(); err != nil {
 		return nil, fmt.Errorf("lambda: %w", err)
 	}
-	if !mem.Valid() {
-		return nil, fmt.Errorf("lambda: invalid memory size %v", mem)
+	if env != nil && !env.Platform.ValidSize(mem) {
+		return nil, fmt.Errorf("lambda: memory size %v not deployable on this platform", mem)
 	}
 	return &Deployment{
 		env:   env,

@@ -1,6 +1,7 @@
 package nn
 
 import (
+	"context"
 	"errors"
 	"fmt"
 )
@@ -26,13 +27,13 @@ func (n *Network) FrozenLayers() int { return n.frozen }
 // number of epochs (respecting frozen layers) and returns the mean training
 // loss of the final epoch. Unlike Train, it does not reset any state — call
 // it repeatedly for staged training schedules.
-func (n *Network) TrainEpochs(x, y [][]float64, epochs int) (float64, error) {
+func (n *Network) TrainEpochs(ctx context.Context, x, y [][]float64, epochs int) (float64, error) {
 	if epochs <= 0 {
 		return 0, errors.New("nn: epochs must be positive")
 	}
 	saved := n.cfg.Epochs
 	n.cfg.Epochs = epochs
-	loss, err := n.Train(x, y)
+	loss, err := n.Train(ctx, x, y)
 	n.cfg.Epochs = saved
 	return loss, err
 }

@@ -1,6 +1,7 @@
 package nn
 
 import (
+	"context"
 	"testing"
 )
 
@@ -32,7 +33,7 @@ func TestFrozenLayersDoNotUpdate(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := net.Train(x, y); err != nil {
+	if _, err := net.Train(context.Background(), x, y); err != nil {
 		t.Fatal(err)
 	}
 	if err := net.SetFrozenLayers(1); err != nil {
@@ -43,7 +44,7 @@ func TestFrozenLayersDoNotUpdate(t *testing.T) {
 	frozenBefore := append([]float64(nil), net.layers[0].w[0]...)
 	trainableBefore := append([]float64(nil), net.layers[2].w[0]...)
 
-	if _, err := net.TrainEpochs(x, y, 10); err != nil {
+	if _, err := net.TrainEpochs(context.Background(), x, y, 10); err != nil {
 		t.Fatal(err)
 	}
 
@@ -70,11 +71,11 @@ func TestTrainEpochsContinues(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	first, err := net.Train(x, y)
+	first, err := net.Train(context.Background(), x, y)
 	if err != nil {
 		t.Fatal(err)
 	}
-	second, err := net.TrainEpochs(x, y, 100)
+	second, err := net.TrainEpochs(context.Background(), x, y, 100)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -85,7 +86,7 @@ func TestTrainEpochsContinues(t *testing.T) {
 	if net.Config().Epochs != 10 {
 		t.Errorf("TrainEpochs should not mutate config epochs: %d", net.Config().Epochs)
 	}
-	if _, err := net.TrainEpochs(x, y, 0); err == nil {
+	if _, err := net.TrainEpochs(context.Background(), x, y, 0); err == nil {
 		t.Error("zero epochs should error")
 	}
 }

@@ -9,6 +9,7 @@
 package nn
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -205,6 +206,69 @@ func (n *Network) Predict(x []float64) ([]float64, error) {
 	return a, nil
 }
 
+// Scratch holds reusable per-layer activation buffers for allocation-free
+// inference. One Scratch serves any number of sequential PredictInto calls
+// on networks of the same shape; it must not be shared across goroutines.
+type Scratch [][]float64
+
+// NewScratch allocates buffers sized for this network's layers.
+func (n *Network) NewScratch() Scratch {
+	bufs := make(Scratch, len(n.layers))
+	for i, l := range n.layers {
+		bufs[i] = make([]float64, l.out)
+	}
+	return bufs
+}
+
+// PredictInto runs a forward pass writing every layer's activations into
+// scratch and returns the final buffer (valid until the next call). It is
+// the hot inference path for batch prediction: zero allocations per call.
+func (n *Network) PredictInto(x []float64, scratch Scratch) ([]float64, error) {
+	if len(x) != n.cfg.Inputs {
+		return nil, fmt.Errorf("nn: input has %d features, network expects %d", len(x), n.cfg.Inputs)
+	}
+	if len(scratch) != len(n.layers) {
+		return nil, fmt.Errorf("nn: scratch has %d buffers, network has %d layers", len(scratch), len(n.layers))
+	}
+	a := x
+	for li, l := range n.layers {
+		out := scratch[li]
+		if len(out) != l.out {
+			return nil, fmt.Errorf("nn: scratch buffer %d has %d slots, layer needs %d", li, len(out), l.out)
+		}
+		l.forwardInto(a, out)
+		a = out
+	}
+	return a, nil
+}
+
+// forwardInto computes the layer output into out without allocating.
+// Inference-only: the pre-activation z is not retained. The dot product
+// uses four independent accumulators, breaking the add-latency dependency
+// chain that bounds the naive loop — deterministic, but the reassociated
+// summation may differ from forward() in the last few ULPs.
+func (d *dense) forwardInto(x, out []float64) {
+	for o := 0; o < d.out; o++ {
+		w := d.w[o]
+		var s0, s1, s2, s3 float64
+		n := len(x) &^ 3
+		for i := 0; i < n; i += 4 {
+			s0 += w[i] * x[i]
+			s1 += w[i+1] * x[i+1]
+			s2 += w[i+2] * x[i+2]
+			s3 += w[i+3] * x[i+3]
+		}
+		s := d.b[o] + s0 + s1 + s2 + s3
+		for i := n; i < len(x); i++ {
+			s += w[i] * x[i]
+		}
+		if d.relu && s < 0 {
+			s = 0
+		}
+		out[o] = s
+	}
+}
+
 // PredictBatch runs forward passes for many samples.
 func (n *Network) PredictBatch(xs [][]float64) ([][]float64, error) {
 	out := make([][]float64, len(xs))
@@ -255,8 +319,9 @@ func (n *Network) lossAndGrad(pred, truth []float64) (float64, []float64) {
 }
 
 // Train fits the network to (X, Y) and returns the mean training loss of
-// the final epoch.
-func (n *Network) Train(x, y [][]float64) (float64, error) {
+// the final epoch. Cancelling ctx stops training at the next epoch
+// boundary and returns the context's error.
+func (n *Network) Train(ctx context.Context, x, y [][]float64) (float64, error) {
 	if len(x) == 0 || len(x) != len(y) {
 		return 0, errors.New("nn: empty or mismatched training data")
 	}
@@ -271,6 +336,9 @@ func (n *Network) Train(x, y [][]float64) (float64, error) {
 	rng := xrand.New(n.cfg.Seed).Derive("nn-shuffle")
 	var lastLoss float64
 	for epoch := 0; epoch < n.cfg.Epochs; epoch++ {
+		if err := ctx.Err(); err != nil {
+			return lastLoss, fmt.Errorf("nn: training cancelled: %w", err)
+		}
 		perm := rng.Perm(len(x))
 		var epochLoss float64
 		for start := 0; start < len(perm); start += n.cfg.BatchSize {

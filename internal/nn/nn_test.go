@@ -2,6 +2,7 @@ package nn
 
 import (
 	"bytes"
+	"context"
 	"math"
 	"testing"
 
@@ -68,7 +69,7 @@ func TestLearnsLinearFunction(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			loss, err := net.Train(x, y)
+			loss, err := net.Train(context.Background(), x, y)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -210,16 +211,16 @@ func TestTrainErrors(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := net.Train(nil, nil); err == nil {
+	if _, err := net.Train(context.Background(), nil, nil); err == nil {
 		t.Error("empty training data should error")
 	}
-	if _, err := net.Train([][]float64{{1, 2}}, [][]float64{{1}, {2}}); err == nil {
+	if _, err := net.Train(context.Background(), [][]float64{{1, 2}}, [][]float64{{1}, {2}}); err == nil {
 		t.Error("mismatched lengths should error")
 	}
-	if _, err := net.Train([][]float64{{1}}, [][]float64{{1}}); err == nil {
+	if _, err := net.Train(context.Background(), [][]float64{{1}}, [][]float64{{1}}); err == nil {
 		t.Error("wrong feature width should error")
 	}
-	if _, err := net.Train([][]float64{{1, 2}}, [][]float64{{1, 2}}); err == nil {
+	if _, err := net.Train(context.Background(), [][]float64{{1, 2}}, [][]float64{{1, 2}}); err == nil {
 		t.Error("wrong target width should error")
 	}
 	if _, err := net.Predict([]float64{1}); err == nil {
@@ -234,7 +235,7 @@ func TestTrainingDeterministic(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if _, err := net.Train(x, y); err != nil {
+		if _, err := net.Train(context.Background(), x, y); err != nil {
 			t.Fatal(err)
 		}
 		pred, err := net.Predict(x[0])
@@ -256,7 +257,7 @@ func TestL2ShrinksWeights(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if _, err := net.Train(x, y); err != nil {
+		if _, err := net.Train(context.Background(), x, y); err != nil {
 			t.Fatal(err)
 		}
 		var s float64
@@ -284,7 +285,7 @@ func TestEvalLoss(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := net.Train(x, y); err != nil {
+	if _, err := net.Train(context.Background(), x, y); err != nil {
 		t.Fatal(err)
 	}
 	after, err := net.EvalLoss(x, y)
@@ -305,7 +306,7 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := net.Train(x, y); err != nil {
+	if _, err := net.Train(context.Background(), x, y); err != nil {
 		t.Fatal(err)
 	}
 	var buf bytes.Buffer
@@ -397,7 +398,7 @@ func TestMAPETrainingOnRatioTargets(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	loss, err := net.Train(x, y)
+	loss, err := net.Train(context.Background(), x, y)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -50,9 +50,12 @@ var ErrNoSizes = errors.New("optimizer: no memory sizes to score")
 // Optimize scores every size in times and selects the S_total minimizer.
 // times maps memory size → mean execution time in milliseconds; tradeoff is
 // the t parameter in [0, 1]. Ties prefer the smaller memory size.
-func Optimize(times map[platform.MemorySize]float64, pricing platform.PricingModel, tradeoff float64) (Recommendation, error) {
+func Optimize(times map[platform.MemorySize]float64, pricing platform.Pricer, tradeoff float64) (Recommendation, error) {
 	if len(times) == 0 {
 		return Recommendation{}, ErrNoSizes
+	}
+	if pricing == nil {
+		return Recommendation{}, errors.New("optimizer: nil pricer")
 	}
 	if tradeoff < 0 || tradeoff > 1 {
 		return Recommendation{}, fmt.Errorf("optimizer: tradeoff %v outside [0,1]", tradeoff)
@@ -91,7 +94,7 @@ func Optimize(times map[platform.MemorySize]float64, pricing platform.PricingMod
 // Rank returns the 1-based rank of `selected` in the ground-truth S_total
 // ordering computed from measured times: 1 means the selection is the true
 // optimum, 2 the second best, and so on (the x-axis of paper Fig. 7).
-func Rank(selected platform.MemorySize, measured map[platform.MemorySize]float64, pricing platform.PricingModel, tradeoff float64) (int, error) {
+func Rank(selected platform.MemorySize, measured map[platform.MemorySize]float64, pricing platform.Pricer, tradeoff float64) (int, error) {
 	rec, err := Optimize(measured, pricing, tradeoff)
 	if err != nil {
 		return 0, err
@@ -117,7 +120,7 @@ type BenefitsReport struct {
 }
 
 // Benefits computes the report. Both sizes must be present in measured.
-func Benefits(measured map[platform.MemorySize]float64, pricing platform.PricingModel, from, to platform.MemorySize) (BenefitsReport, error) {
+func Benefits(measured map[platform.MemorySize]float64, pricing platform.Pricer, from, to platform.MemorySize) (BenefitsReport, error) {
 	tf, okF := measured[from]
 	tt, okT := measured[to]
 	if !okF || !okT {
@@ -125,6 +128,9 @@ func Benefits(measured map[platform.MemorySize]float64, pricing platform.Pricing
 	}
 	if tf <= 0 || tt <= 0 {
 		return BenefitsReport{}, errors.New("optimizer: non-positive execution times")
+	}
+	if pricing == nil {
+		return BenefitsReport{}, errors.New("optimizer: nil pricer")
 	}
 	cf := pricing.Cost(from, time.Duration(tf*float64(time.Millisecond)))
 	ct := pricing.Cost(to, time.Duration(tt*float64(time.Millisecond)))

@@ -7,7 +7,12 @@ import "time"
 // construct one with DefaultConfig.
 type Config struct {
 	Resources ResourceModel
-	Pricing   PricingModel
+	// Pricing is the billing scheme. Built-in providers use PricingModel
+	// (linear GB-second) or TieredPricing (per-tier bundled rates).
+	Pricing Pricer
+	// Grid is the set of deployable memory sizes. A zero Grid falls back
+	// to the legacy AWS rule (MemorySize.Valid).
+	Grid Grid
 	// ColdStartBase is the platform-side provisioning delay for a new
 	// function instance (sandbox creation + runtime boot), independent of
 	// memory size.
@@ -30,11 +35,22 @@ func DefaultConfig() Config {
 	return Config{
 		Resources:        DefaultResourceModel(),
 		Pricing:          DefaultPricing(),
+		Grid:             SteppedGrid(128, 3008, 64),
 		ColdStartBase:    180 * time.Millisecond,
 		ColdStartInit128: 350 * time.Millisecond,
 		KeepAlive:        10 * time.Minute,
 		ConcurrencyLimit: 1000,
 	}
+}
+
+// ValidSize reports whether m is deployable on this platform, honouring
+// the configured grid and falling back to the legacy AWS rule when no grid
+// is set.
+func (c Config) ValidSize(m MemorySize) bool {
+	if c.Grid.IsZero() {
+		return m.Valid()
+	}
+	return c.Grid.Valid(m)
 }
 
 // ColdStartDelay returns the total cold-start penalty at memory size m.

@@ -1,18 +1,26 @@
 // Package platform models the resource-allocation and pricing behaviour of
-// an AWS-Lambda-style Function-as-a-Service platform (paper §2).
+// Function-as-a-Service platforms (paper §2), generalized behind a
+// pluggable Provider abstraction.
 //
 // The single user-facing resource knob is the memory size; CPU share,
-// network bandwidth, and file-I/O bandwidth all scale with it. The scaling
-// rules implemented here follow the published behaviour of AWS Lambda at
-// the time of the paper's measurements (2020/2021):
+// network bandwidth, and file-I/O bandwidth all scale with it, and billing
+// follows the provider's scheme. A Provider bundles the four
+// platform-specific pieces — the deployable memory Grid, the Pricer, the
+// ResourceModel, and the cold-start/lifecycle Config — and registers under
+// a name (RegisterProvider / LookupProvider). Three providers ship built
+// in:
 //
-//   - CPU: a function receives memory/1792 MB worth of vCPU time, capped at
-//     the physical core count of the worker (Wang et al., ATC'18 [49]).
-//   - Network and file I/O bandwidth grow roughly linearly with memory and
-//     saturate at a platform cap [49].
-//   - Billing: GB-seconds times a flat rate plus a per-request charge, with
-//     configurable duration rounding (100 ms historically, 1 ms after
-//     December 2020).
+//   - aws-lambda (the default, calibrated to the paper's 2020/2021
+//     measurements): 128–3008 MB in 64 MB steps, memory/1792 MB of vCPU
+//     capped at the worker's cores (Wang et al., ATC'18 [49]), linear
+//     GB-second pricing with configurable rounding (100 ms historically,
+//     1 ms after December 2020).
+//   - gcp-cloudfunctions (gen1): six discrete memory tiers each bundled
+//     with a fixed CPU clock, per-tier bundled pricing, 100 ms billing
+//     granularity.
+//   - azure-functions (consumption plan): 128 MB-stepped grid capped at
+//     1536 MB, GB-second pricing with a 100 ms minimum charge, single-core
+//     CPU ceiling.
 package platform
 
 import (
@@ -57,8 +65,12 @@ func (m MemorySize) GB() float64 { return float64(m) / 1024 }
 // MB returns the size in megabytes as a float.
 func (m MemorySize) MB() float64 { return float64(m) }
 
-// Valid reports whether the size is within the supported range and a
-// multiple of 64 MB.
+// Valid reports whether the size is deployable on the AWS Lambda grid of
+// the paper's era (128..3008 MB in 64 MB steps).
+//
+// Deprecated: validity is platform-specific; use Provider.Grid().Valid (or
+// Config.ValidSize) so non-AWS grids are honoured. Valid remains as the
+// legacy rule for callers that predate the provider abstraction.
 func (m MemorySize) Valid() bool {
 	return m >= 128 && m <= 3008 && m%64 == 0
 }
@@ -66,17 +78,31 @@ func (m MemorySize) Valid() bool {
 // String implements fmt.Stringer.
 func (m MemorySize) String() string { return fmt.Sprintf("%dMB", int(m)) }
 
-// ParseMemorySize parses strings like "512" or "512MB".
-func ParseMemorySize(s string) (MemorySize, error) {
+// parseMemoryValue parses "512" or "512MB" into a size without any grid
+// validation.
+func parseMemoryValue(s string) (MemorySize, error) {
 	var v int
 	if _, err := fmt.Sscanf(s, "%dMB", &v); err != nil {
 		if _, err := fmt.Sscanf(s, "%d", &v); err != nil {
 			return 0, fmt.Errorf("platform: cannot parse memory size %q", s)
 		}
 	}
-	m := MemorySize(v)
+	if v <= 0 {
+		return 0, fmt.Errorf("platform: non-positive memory size %d", v)
+	}
+	return MemorySize(v), nil
+}
+
+// ParseMemorySize parses strings like "512" or "512MB" and validates the
+// result against the legacy AWS grid. Use Grid.Parse to validate against a
+// specific provider's grid instead.
+func ParseMemorySize(s string) (MemorySize, error) {
+	m, err := parseMemoryValue(s)
+	if err != nil {
+		return 0, err
+	}
 	if !m.Valid() {
-		return 0, fmt.Errorf("platform: invalid memory size %d (want 128..3008 in 64MB steps)", v)
+		return 0, fmt.Errorf("platform: invalid memory size %d (want 128..3008 in 64MB steps)", int(m))
 	}
 	return m, nil
 }

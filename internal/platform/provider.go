@@ -1,0 +1,170 @@
+package platform
+
+import "time"
+
+// Provider is the pluggable description of one FaaS platform: which memory
+// sizes exist (the grid and the default prediction subset), how resources
+// scale with memory, what an invocation costs, and how the instance
+// lifecycle behaves. The optimizer, the recommender service, and the
+// simulated measurement harness are all parameterized by a Provider, so the
+// same monitoring summary can be sized for different clouds.
+//
+// Implementations must be immutable after registration: every method must
+// be safe for concurrent use and return defensive copies of slices.
+type Provider interface {
+	// Name is the registry key, e.g. "aws-lambda".
+	Name() string
+	// Description is a one-line human summary for CLI listings.
+	Description() string
+	// Grid is the full set of deployable memory sizes.
+	Grid() Grid
+	// DefaultSizes is the prediction grid: the subset of sizes a predictor
+	// trains on and recommends over (the paper uses six on AWS).
+	DefaultSizes() []MemorySize
+	// Platform is the complete simulation/billing configuration.
+	Platform() Config
+}
+
+// ProviderSpec is a concrete, declarative Provider. Custom platforms are
+// usually a literal of this type passed to RegisterProvider.
+type ProviderSpec struct {
+	ID         string
+	Summary    string
+	MemoryGrid Grid
+	Sizes      []MemorySize
+	Config     Config
+}
+
+var _ Provider = ProviderSpec{}
+
+// Name implements Provider.
+func (p ProviderSpec) Name() string { return p.ID }
+
+// Description implements Provider.
+func (p ProviderSpec) Description() string { return p.Summary }
+
+// Grid implements Provider.
+func (p ProviderSpec) Grid() Grid { return p.MemoryGrid }
+
+// DefaultSizes implements Provider.
+func (p ProviderSpec) DefaultSizes() []MemorySize {
+	return append([]MemorySize(nil), p.Sizes...)
+}
+
+// Platform implements Provider.
+func (p ProviderSpec) Platform() Config { return p.Config }
+
+// Canonical names of the built-in providers.
+const (
+	AWSLambdaName         = "aws-lambda"
+	GCPCloudFunctionsName = "gcp-cloudfunctions"
+	AzureFunctionsName    = "azure-functions"
+)
+
+// AWSLambda returns the calibrated AWS-Lambda-like platform of the paper's
+// measurements (2020/2021) — the default provider and the seed's original
+// behaviour: 64 MB-stepped grid, linear GB-second pricing with 1 ms
+// rounding, full vCPU at 1792 MB.
+func AWSLambda() Provider {
+	return ProviderSpec{
+		ID:         AWSLambdaName,
+		Summary:    "AWS Lambda (2021): 128-3008MB/64MB grid, $16.67/M GB-s, 1ms billing, 1 vCPU at 1792MB",
+		MemoryGrid: SteppedGrid(128, 3008, 64),
+		Sizes:      StandardSizes(),
+		Config:     DefaultConfig(),
+	}
+}
+
+// GCPCloudFunctions returns a GCP-Cloud-Functions-gen1-like platform:
+// discrete memory tiers each bundled with a fixed CPU clock, per-tier
+// bundled pricing, and 100 ms billing granularity. A full (2.4 GHz-class)
+// vCPU arrives only at the 2048 MB tier, and the 4096 MB tier doubles the
+// clock again — so CPU-bound functions keep speeding up longer than on AWS,
+// while the coarse billing granularity penalizes short invocations.
+func GCPCloudFunctions() Provider {
+	grid := DiscreteGrid(128, 256, 512, 1024, 2048, 4096)
+	return ProviderSpec{
+		ID:         GCPCloudFunctionsName,
+		Summary:    "GCP Cloud Functions gen1: 6 fixed tiers to 4096MB, bundled tier pricing, 100ms billing, 1 vCPU at 2048MB",
+		MemoryGrid: grid,
+		Sizes:      []MemorySize{128, 256, 512, 1024, 2048, 4096},
+		Config: Config{
+			Grid: grid,
+			Resources: ResourceModel{
+				FullCPUAtMB:       2048,
+				MaxVCPUs:          2.0,
+				ThrottleOverhead:  0.25,
+				NetBaseMBps:       2.0,
+				NetPerMBps:        0.040,
+				NetCapMBps:        75,
+				IOBaseMBps:        8,
+				IOPerMBps:         0.09,
+				IOCapMBps:         170,
+				RuntimeOverheadMB: 45,
+				GCPressureFactor:  1.6,
+				GCPressureKnee:    0.55,
+			},
+			// Published gen1 compute prices per 100 ms, expressed per
+			// second: each tier bundles GB-seconds and GHz-seconds.
+			Pricing: TieredPricing{
+				SecondRate: map[MemorySize]float64{
+					128:  0.00000231,
+					256:  0.00000463,
+					512:  0.00000925,
+					1024: 0.00001650,
+					2048: 0.00002900,
+					4096: 0.00005800,
+				},
+				RequestCharge:      0.0000004,
+				BillingGranularity: 100 * time.Millisecond,
+			},
+			ColdStartBase:    300 * time.Millisecond,
+			ColdStartInit128: 500 * time.Millisecond,
+			KeepAlive:        15 * time.Minute,
+			ConcurrencyLimit: 1000,
+		},
+	}
+}
+
+// AzureFunctions returns an Azure-Functions-consumption-plan-like platform:
+// a 128 MB-stepped grid capped at 1536 MB, GB-second pricing with a 100 ms
+// minimum charge, a single core that saturates at the top of the grid, and
+// the long cold starts the consumption plan is known for. Because CPU never
+// exceeds one core and the grid stops at 1536 MB, upsizing pays off less
+// than on the other clouds — recommendations skew small.
+func AzureFunctions() Provider {
+	grid := SteppedGrid(128, 1536, 128)
+	return ProviderSpec{
+		ID:         AzureFunctionsName,
+		Summary:    "Azure Functions consumption: 128-1536MB/128MB grid, $16/M GB-s, 100ms minimum charge, 1 vCPU at 1536MB",
+		MemoryGrid: grid,
+		Sizes:      []MemorySize{128, 256, 512, 768, 1024, 1536},
+		Config: Config{
+			Grid: grid,
+			Resources: ResourceModel{
+				FullCPUAtMB:       1536,
+				MaxVCPUs:          1.0,
+				ThrottleOverhead:  0.15,
+				NetBaseMBps:       4.0,
+				NetPerMBps:        0.050,
+				NetCapMBps:        100,
+				IOBaseMBps:        12,
+				IOPerMBps:         0.12,
+				IOCapMBps:         200,
+				RuntimeOverheadMB: 60,
+				GCPressureFactor:  1.8,
+				GCPressureKnee:    0.50,
+			},
+			Pricing: PricingModel{
+				GBSecondRate:       0.000016,
+				RequestCharge:      0.0000002,
+				BillingGranularity: time.Millisecond,
+				MinBilled:          100 * time.Millisecond,
+			},
+			ColdStartBase:    600 * time.Millisecond,
+			ColdStartInit128: 1000 * time.Millisecond,
+			KeepAlive:        20 * time.Minute,
+			ConcurrencyLimit: 200,
+		},
+	}
+}

@@ -1,0 +1,71 @@
+package platform
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// The provider registry: a process-wide, concurrency-safe name → Provider
+// map. The three built-in clouds are registered at init; embedders add
+// custom platforms with RegisterProvider before building pipelines.
+var providerRegistry = struct {
+	sync.RWMutex
+	byName map[string]Provider
+}{byName: make(map[string]Provider)}
+
+// RegisterProvider adds a provider under its (case-insensitive) name. It
+// rejects nil providers, empty names, and duplicate registrations —
+// re-registering a name is almost always a configuration bug, so it is an
+// error rather than a silent overwrite.
+func RegisterProvider(p Provider) error {
+	if p == nil {
+		return fmt.Errorf("platform: RegisterProvider(nil)")
+	}
+	key := strings.ToLower(strings.TrimSpace(p.Name()))
+	if key == "" {
+		return fmt.Errorf("platform: provider has empty name")
+	}
+	providerRegistry.Lock()
+	defer providerRegistry.Unlock()
+	if _, dup := providerRegistry.byName[key]; dup {
+		return fmt.Errorf("platform: provider %q already registered", key)
+	}
+	providerRegistry.byName[key] = p
+	return nil
+}
+
+// LookupProvider resolves a provider by case-insensitive name. Unknown
+// names return an error listing what is registered.
+func LookupProvider(name string) (Provider, error) {
+	key := strings.ToLower(strings.TrimSpace(name))
+	providerRegistry.RLock()
+	p, ok := providerRegistry.byName[key]
+	providerRegistry.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("platform: unknown provider %q (registered: %s)",
+			name, strings.Join(ProviderNames(), ", "))
+	}
+	return p, nil
+}
+
+// ProviderNames returns the registered provider names, sorted.
+func ProviderNames() []string {
+	providerRegistry.RLock()
+	defer providerRegistry.RUnlock()
+	out := make([]string, 0, len(providerRegistry.byName))
+	for name := range providerRegistry.byName {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func init() {
+	for _, p := range []Provider{AWSLambda(), GCPCloudFunctions(), AzureFunctions()} {
+		if err := RegisterProvider(p); err != nil {
+			panic(err)
+		}
+	}
+}

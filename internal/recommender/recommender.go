@@ -11,6 +11,7 @@
 package recommender
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -25,26 +26,32 @@ import (
 // Config tunes the service.
 type Config struct {
 	// Tradeoff is the §3.5 t parameter (default 0.75, the paper's
-	// recommended balanced setting).
+	// recommended balanced setting). Zero means "unset" unless
+	// TradeoffSet is true — t = 0 (pure performance) is a valid setting.
 	Tradeoff float64
+	// TradeoffSet marks Tradeoff as explicit, allowing t = 0.
+	TradeoffSet bool
 	// MinWindow is the minimum number of invocations before the first
 	// recommendation (default 100 — ~10 minutes at modest traffic, the
 	// §3.3 stability horizon).
 	MinWindow int
 	// Drift configures the §5 workload-shift detector.
 	Drift monitoring.DriftDetectorConfig
-	// Pricing is the billing model used for cost scoring.
-	Pricing platform.PricingModel
+	// Pricing is the billing model used for cost scoring (default: the
+	// AWS-Lambda-like platform.DefaultPricing).
+	Pricing platform.Pricer
+	// Workers bounds batch-API parallelism (0 = GOMAXPROCS).
+	Workers int
 }
 
 func (c Config) withDefaults() Config {
-	if c.Tradeoff <= 0 {
+	if !c.TradeoffSet && c.Tradeoff <= 0 {
 		c.Tradeoff = 0.75
 	}
 	if c.MinWindow <= 0 {
 		c.MinWindow = 100
 	}
-	if c.Pricing == (platform.PricingModel{}) {
+	if c.Pricing == nil {
 		c.Pricing = platform.DefaultPricing()
 	}
 	return c
@@ -111,9 +118,14 @@ func (s *Service) Base() platform.MemorySize { return s.model.Config().Base }
 //     against the baseline window with the drift detector; only a detected
 //     shift triggers a recomputation (on the new window), which then
 //     becomes the baseline.
-func (s *Service) Ingest(functionID string, invs []monitoring.Invocation) (Status, error) {
+func (s *Service) Ingest(ctx context.Context, functionID string, invs []monitoring.Invocation) (Status, error) {
 	if functionID == "" {
 		return Status{}, errors.New("recommender: empty function ID")
+	}
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return Status{}, fmt.Errorf("recommender: %w", err)
+		}
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -233,4 +245,53 @@ func (s *Service) Summarize() FleetSummary {
 		out.Recomputations += st.status.Recomputations
 	}
 	return out
+}
+
+// IngestBatch feeds monitoring windows for many functions and returns the
+// per-function statuses. Functions are processed in sorted-ID order so the
+// result does not depend on map iteration; cancelling ctx stops between
+// functions and returns what has been processed so far along with the
+// context's error.
+func (s *Service) IngestBatch(ctx context.Context, batch map[string][]monitoring.Invocation) (map[string]Status, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	ids := make([]string, 0, len(batch))
+	for id := range batch {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	out := make(map[string]Status, len(ids))
+	for _, id := range ids {
+		if err := ctx.Err(); err != nil {
+			return out, fmt.Errorf("recommender: batch ingest cancelled: %w", err)
+		}
+		st, err := s.Ingest(ctx, id, batch[id])
+		if err != nil {
+			return out, err
+		}
+		out[id] = st
+	}
+	return out, nil
+}
+
+// RecommendBatch is the stateless fleet-scale path: it scores many
+// monitoring summaries (all collected at the service's base size) in one
+// shot, amortizing feature extraction and running the model's forward
+// passes concurrently. Results align positionally with summaries. Unlike
+// Ingest it does not touch per-function tracking state.
+func (s *Service) RecommendBatch(ctx context.Context, summaries []monitoring.Summary) ([]optimizer.Recommendation, error) {
+	times, err := s.model.PredictBatch(ctx, summaries, s.cfg.Workers)
+	if err != nil {
+		return nil, fmt.Errorf("recommender: %w", err)
+	}
+	out := make([]optimizer.Recommendation, len(times))
+	for i, t := range times {
+		rec, err := optimizer.Optimize(t, s.cfg.Pricing, s.cfg.Tradeoff)
+		if err != nil {
+			return nil, fmt.Errorf("recommender: summary %d: %w", i, err)
+		}
+		out[i] = rec
+	}
+	return out, nil
 }

@@ -1,6 +1,7 @@
 package recommender
 
 import (
+	"context"
 	"strings"
 	"sync"
 	"testing"
@@ -13,6 +14,7 @@ import (
 	"sizeless/internal/lambda"
 	"sizeless/internal/loadgen"
 	"sizeless/internal/monitoring"
+	"sizeless/internal/optimizer"
 	"sizeless/internal/platform"
 	"sizeless/internal/runtime"
 	"sizeless/internal/services"
@@ -41,7 +43,7 @@ func testModel(t *testing.T) *core.Model {
 			specs[i] = fn.Spec
 		}
 		var ds *dataset.Dataset
-		ds, modelErr = harness.BuildDataset(harness.Options{
+		ds, modelErr = harness.BuildDataset(context.Background(), harness.Options{
 			Rate: 10, Duration: 5 * time.Second, Seed: 3, Workers: 8,
 		}, specs)
 		if modelErr != nil {
@@ -50,7 +52,7 @@ func testModel(t *testing.T) *core.Model {
 		cfg := core.DefaultModelConfig(platform.Mem256)
 		cfg.Hidden = []int{32, 32}
 		cfg.Epochs = 150
-		modelVal, modelErr = core.Train(ds, cfg)
+		modelVal, modelErr = core.Train(context.Background(), ds, cfg)
 	})
 	if modelErr != nil {
 		t.Fatalf("training test model: %v", modelErr)
@@ -112,7 +114,7 @@ func TestInitialRecommendationAfterMinWindow(t *testing.T) {
 	}
 
 	// Feed fewer than MinWindow: no recommendation yet.
-	st, err := svc.Ingest("fn-a", invs[:50])
+	st, err := svc.Ingest(context.Background(), "fn-a", invs[:50])
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -120,7 +122,7 @@ func TestInitialRecommendationAfterMinWindow(t *testing.T) {
 		t.Error("recommendation before MinWindow")
 	}
 	// Crossing MinWindow: recommendation appears.
-	st, err = svc.Ingest("fn-a", invs[50:150])
+	st, err = svc.Ingest(context.Background(), "fn-a", invs[50:150])
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -141,12 +143,12 @@ func TestStationaryTrafficDoesNotChurn(t *testing.T) {
 		t.Fatal(err)
 	}
 	invs := trace(t, apiSpec(2), 11)
-	if _, err := svc.Ingest("fn-b", invs[:100]); err != nil {
+	if _, err := svc.Ingest(context.Background(), "fn-b", invs[:100]); err != nil {
 		t.Fatal(err)
 	}
 	// More windows of the SAME workload: no recomputations.
 	for i := 100; i+100 <= len(invs) && i < 400; i += 100 {
-		st, err := svc.Ingest("fn-b", invs[i:i+100])
+		st, err := svc.Ingest(context.Background(), "fn-b", invs[i:i+100])
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -168,10 +170,10 @@ func TestWorkloadShiftTriggersRecompute(t *testing.T) {
 	shifted.Name = "tracked-fn" // same function identity
 	after := trace(t, shifted, 13)
 
-	if _, err := svc.Ingest("fn-c", before[:100]); err != nil {
+	if _, err := svc.Ingest(context.Background(), "fn-c", before[:100]); err != nil {
 		t.Fatal(err)
 	}
-	st, err := svc.Ingest("fn-c", after[:100])
+	st, err := svc.Ingest(context.Background(), "fn-c", after[:100])
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -199,10 +201,10 @@ func TestFleetAndSummarize(t *testing.T) {
 		t.Fatal(err)
 	}
 	invs := trace(t, apiSpec(2), 14)
-	if _, err := svc.Ingest("fleet-1", invs[:100]); err != nil {
+	if _, err := svc.Ingest(context.Background(), "fleet-1", invs[:100]); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := svc.Ingest("fleet-2", invs[100:140]); err != nil {
+	if _, err := svc.Ingest(context.Background(), "fleet-2", invs[100:140]); err != nil {
 		t.Fatal(err)
 	}
 	fleet := svc.Fleet()
@@ -222,7 +224,7 @@ func TestFleetAndSummarize(t *testing.T) {
 	if _, err := svc.Status("nope"); err == nil {
 		t.Error("unknown function should error")
 	}
-	if _, err := svc.Ingest("", nil); err == nil {
+	if _, err := svc.Ingest(context.Background(), "", nil); err == nil {
 		t.Error("empty function ID should error")
 	}
 }
@@ -240,7 +242,7 @@ func TestConcurrentIngest(t *testing.T) {
 			defer wg.Done()
 			id := "conc-" + strings.Repeat("x", g+1)
 			for i := 0; i+25 <= 200; i += 25 {
-				if _, err := svc.Ingest(id, invs[i:i+25]); err != nil {
+				if _, err := svc.Ingest(context.Background(), id, invs[i:i+25]); err != nil {
 					t.Error(err)
 					return
 				}
@@ -250,5 +252,127 @@ func TestConcurrentIngest(t *testing.T) {
 	wg.Wait()
 	if got := svc.Summarize().Functions; got != 8 {
 		t.Errorf("tracked %d functions, want 8", got)
+	}
+}
+
+func TestIngestBatch(t *testing.T) {
+	svc, err := New(testModel(t), Config{MinWindow: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	invs := trace(t, apiSpec(2), 31)
+	batch := map[string][]monitoring.Invocation{
+		"batch-a": invs[:120],
+		"batch-b": invs[120:240],
+		"batch-c": invs[240:260], // below MinWindow: buffered only
+	}
+	statuses, err := svc.IngestBatch(context.Background(), batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(statuses) != 3 {
+		t.Fatalf("got %d statuses, want 3", len(statuses))
+	}
+	if !statuses["batch-a"].HasRecommendation || !statuses["batch-b"].HasRecommendation {
+		t.Error("full windows should produce recommendations")
+	}
+	if statuses["batch-c"].HasRecommendation {
+		t.Error("short window should only buffer")
+	}
+
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := svc.IngestBatch(cancelled, batch); err == nil {
+		t.Error("cancelled batch ingest should error")
+	}
+}
+
+func TestRecommendBatchMatchesSequential(t *testing.T) {
+	model := testModel(t)
+	svc, err := New(model, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	invs := trace(t, apiSpec(3), 32)
+	var sums []monitoring.Summary
+	for w := 0; w+100 <= len(invs) && len(sums) < 4; w += 100 {
+		s, err := monitoring.Summarize(invs[w : w+100])
+		if err != nil {
+			t.Fatal(err)
+		}
+		sums = append(sums, s)
+	}
+	recs, err := svc.RecommendBatch(context.Background(), sums)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != len(sums) {
+		t.Fatalf("got %d recommendations, want %d", len(recs), len(sums))
+	}
+	for i, s := range sums {
+		times, err := model.Predict(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := optimizer.Optimize(times, platform.DefaultPricing(), 0.75)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if recs[i].Best != want.Best {
+			t.Errorf("batch rec %d = %v, sequential = %v", i, recs[i].Best, want.Best)
+		}
+	}
+}
+
+func TestServiceWithTieredPricing(t *testing.T) {
+	svc, err := New(testModel(t), Config{
+		Pricing: platform.GCPCloudFunctions().Platform().Pricing,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	invs := trace(t, apiSpec(2), 33)
+	st, err := svc.Ingest(context.Background(), "gcp-fn", invs[:120])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.HasRecommendation {
+		t.Fatal("expected a recommendation")
+	}
+	if !st.Recommendation.Best.Valid() {
+		t.Errorf("recommendation %v invalid", st.Recommendation.Best)
+	}
+}
+
+func TestExplicitZeroTradeoff(t *testing.T) {
+	// t = 0 (pure performance) must survive defaulting when marked
+	// explicit, and must default to 0.75 when not.
+	svc, err := New(testModel(t), Config{Tradeoff: 0, TradeoffSet: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	invs := trace(t, apiSpec(2), 34)
+	sum, err := monitoring.Summarize(invs[:100])
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := svc.RecommendBatch(context.Background(), []monitoring.Summary{sum})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recs[0].Tradeoff != 0 {
+		t.Errorf("explicit t=0 became %v", recs[0].Tradeoff)
+	}
+
+	def, err := New(testModel(t), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err = def.RecommendBatch(context.Background(), []monitoring.Summary{sum})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recs[0].Tradeoff != 0.75 {
+		t.Errorf("unset tradeoff defaulted to %v, want 0.75", recs[0].Tradeoff)
 	}
 }

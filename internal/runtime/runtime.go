@@ -44,10 +44,17 @@ type Env struct {
 	Drift float64
 }
 
-// NewEnv returns an Env with the default platform and services.
+// NewEnv returns an Env with the default (AWS-Lambda-like) platform and
+// services.
 func NewEnv() *Env {
+	return NewEnvFor(platform.DefaultConfig())
+}
+
+// NewEnvFor returns an Env running the given platform configuration —
+// the hook through which a platform.Provider parameterizes the simulation.
+func NewEnvFor(cfg platform.Config) *Env {
 	return &Env{
-		Platform: platform.DefaultConfig(),
+		Platform: cfg,
 		Services: services.NewRegistry(nil),
 		Drift:    1.0,
 	}
@@ -86,8 +93,8 @@ func NewInstance(env *Env, spec *workload.Spec, m platform.MemorySize, rng *xran
 	if err := spec.Validate(); err != nil {
 		return nil, fmt.Errorf("runtime: %w", err)
 	}
-	if !m.Valid() {
-		return nil, fmt.Errorf("runtime: invalid memory size %v", m)
+	if !env.Platform.ValidSize(m) {
+		return nil, fmt.Errorf("runtime: memory size %v not deployable on this platform", m)
 	}
 	inst := &Instance{
 		env:         env,

@@ -1,0 +1,272 @@
+package sizeless
+
+import (
+	"fmt"
+	"time"
+
+	"sizeless/internal/monitoring"
+	"sizeless/internal/platform"
+	"sizeless/internal/runtime"
+)
+
+// Option configures a pipeline entry point (GenerateDataset,
+// TrainPredictor, MonitorFunction, LoadPredictor, Predictor.NewService).
+// Options not meaningful for a given entry point are accepted and ignored,
+// so one option slice can parameterize a whole pipeline.
+type Option func(*config) error
+
+// config is the resolved option set. Zero values mean "use the entry
+// point's default".
+type config struct {
+	provider    Provider
+	hasProvider bool
+	seed        int64
+	sizes       []MemorySize
+	workers     int
+	functions   int
+	rate        float64
+	duration    time.Duration
+	memory      MemorySize
+	base        MemorySize
+	hidden      []int
+	epochs      int
+	ensemble    int
+	tradeoff    float64
+	hasTradeoff bool
+	minWindow   int
+	drift       monitoring.DriftDetectorConfig
+	hasDrift    bool
+	progress    func(done, total int)
+	env         *runtime.Env
+}
+
+// resolve applies opts over the defaults shared by every entry point.
+func resolve(opts []Option) (config, error) {
+	cfg := config{provider: platform.AWSLambda()}
+	for _, opt := range opts {
+		if opt == nil {
+			continue
+		}
+		if err := opt(&cfg); err != nil {
+			return config{}, fmt.Errorf("sizeless: %w", err)
+		}
+	}
+	return cfg, nil
+}
+
+// newEnv returns the simulation environment: an explicit WithEnv wins,
+// otherwise a fresh environment running the provider's platform.
+func (c config) newEnv() *runtime.Env {
+	if c.env != nil {
+		return c.env
+	}
+	return runtime.NewEnvFor(c.provider.Platform())
+}
+
+// predictionSizes returns the memory grid predictions run over: an
+// explicit WithSizes wins, otherwise the provider's default grid.
+func (c config) predictionSizes() []MemorySize {
+	if c.sizes != nil {
+		return append([]MemorySize(nil), c.sizes...)
+	}
+	return c.provider.DefaultSizes()
+}
+
+// WithProvider selects the FaaS platform the pipeline targets: its memory
+// grid, resource-scaling behaviour, pricing, and cold-start model. The
+// default is AWSLambda(). Use ProviderByName to resolve registered
+// providers from CLI flags.
+func WithProvider(p Provider) Option {
+	return func(c *config) error {
+		if p == nil {
+			return fmt.Errorf("WithProvider: nil provider")
+		}
+		c.provider = p
+		c.hasProvider = true
+		return nil
+	}
+}
+
+// WithSeed anchors all randomness; identical seeds reproduce results
+// bit-for-bit regardless of worker count.
+func WithSeed(seed int64) Option {
+	return func(c *config) error {
+		c.seed = seed
+		return nil
+	}
+}
+
+// WithSizes overrides the memory grid measured and predicted (default: the
+// provider's DefaultSizes). Every size must be deployable on the
+// provider's grid.
+func WithSizes(sizes ...MemorySize) Option {
+	return func(c *config) error {
+		if len(sizes) == 0 {
+			return fmt.Errorf("WithSizes: empty size list")
+		}
+		c.sizes = append([]MemorySize(nil), sizes...)
+		return nil
+	}
+}
+
+// WithWorkers bounds parallelism for measurement campaigns and batch
+// prediction (0 = GOMAXPROCS).
+func WithWorkers(n int) Option {
+	return func(c *config) error {
+		if n < 0 {
+			return fmt.Errorf("WithWorkers: negative worker count %d", n)
+		}
+		c.workers = n
+		return nil
+	}
+}
+
+// WithFunctions sets the number of synthetic functions GenerateDataset
+// measures (paper: 2000).
+func WithFunctions(n int) Option {
+	return func(c *config) error {
+		if n <= 0 {
+			return fmt.Errorf("WithFunctions: non-positive count %d", n)
+		}
+		c.functions = n
+		return nil
+	}
+}
+
+// WithRate sets the load-generator request rate in req/s (paper: 30).
+func WithRate(rps float64) Option {
+	return func(c *config) error {
+		if rps <= 0 {
+			return fmt.Errorf("WithRate: non-positive rate %v", rps)
+		}
+		c.rate = rps
+		return nil
+	}
+}
+
+// WithDuration sets the per-experiment measurement window (paper: 10 min).
+func WithDuration(d time.Duration) Option {
+	return func(c *config) error {
+		if d <= 0 {
+			return fmt.Errorf("WithDuration: non-positive duration %v", d)
+		}
+		c.duration = d
+		return nil
+	}
+}
+
+// WithMemory sets the deployed memory size MonitorFunction observes at
+// (default: the size closest to 256 MB on the provider's grid).
+func WithMemory(m MemorySize) Option {
+	return func(c *config) error {
+		if m <= 0 {
+			return fmt.Errorf("WithMemory: non-positive size %v", m)
+		}
+		c.memory = m
+		return nil
+	}
+}
+
+// WithBase sets the monitored base size TrainPredictor fits against (the
+// paper recommends 256 MB, the default).
+func WithBase(m MemorySize) Option {
+	return func(c *config) error {
+		if m <= 0 {
+			return fmt.Errorf("WithBase: non-positive size %v", m)
+		}
+		c.base = m
+		return nil
+	}
+}
+
+// WithHidden overrides the network's hidden-layer widths (paper final:
+// 4×256) — useful for quick experiments.
+func WithHidden(widths ...int) Option {
+	return func(c *config) error {
+		if len(widths) == 0 {
+			return fmt.Errorf("WithHidden: empty layer list")
+		}
+		c.hidden = append([]int(nil), widths...)
+		return nil
+	}
+}
+
+// WithEpochs overrides the training epochs (paper final: 200).
+func WithEpochs(n int) Option {
+	return func(c *config) error {
+		if n <= 0 {
+			return fmt.Errorf("WithEpochs: non-positive epochs %d", n)
+		}
+		c.epochs = n
+		return nil
+	}
+}
+
+// WithEnsembleSize sets how many networks train from different seeds and
+// average their predictions (default 3).
+func WithEnsembleSize(n int) Option {
+	return func(c *config) error {
+		if n <= 0 {
+			return fmt.Errorf("WithEnsembleSize: non-positive size %d", n)
+		}
+		c.ensemble = n
+		return nil
+	}
+}
+
+// WithTradeoff sets the §3.5 cost/performance tradeoff t in [0,1] for the
+// recommendation service (default 0.75, the paper's recommended setting).
+func WithTradeoff(t float64) Option {
+	return func(c *config) error {
+		if t < 0 || t > 1 {
+			return fmt.Errorf("WithTradeoff: %v outside [0,1]", t)
+		}
+		c.tradeoff = t
+		c.hasTradeoff = true
+		return nil
+	}
+}
+
+// WithMinWindow sets the minimum invocations before the recommendation
+// service issues its first recommendation (default 100).
+func WithMinWindow(n int) Option {
+	return func(c *config) error {
+		if n <= 0 {
+			return fmt.Errorf("WithMinWindow: non-positive window %d", n)
+		}
+		c.minWindow = n
+		return nil
+	}
+}
+
+// WithDrift configures the §5 workload-shift detector of the
+// recommendation service.
+func WithDrift(d monitoring.DriftDetectorConfig) Option {
+	return func(c *config) error {
+		c.drift = d
+		c.hasDrift = true
+		return nil
+	}
+}
+
+// WithProgress installs a progress callback for measurement campaigns:
+// after every completed (function × size) experiment it receives the
+// finished and total cell counts. Calls are serialized.
+func WithProgress(fn func(done, total int)) Option {
+	return func(c *config) error {
+		c.progress = fn
+		return nil
+	}
+}
+
+// WithEnv injects a custom simulation environment (custom drift, service
+// latency overrides), overriding the provider-derived default.
+func WithEnv(env *runtime.Env) Option {
+	return func(c *config) error {
+		if env == nil {
+			return fmt.Errorf("WithEnv: nil environment")
+		}
+		c.env = env
+		return nil
+	}
+}

@@ -1,0 +1,58 @@
+package sizeless
+
+import (
+	"fmt"
+
+	"sizeless/internal/platform"
+)
+
+// Provider is the pluggable description of one FaaS platform: deployable
+// memory grid, default prediction sizes, resource-scaling model, pricing,
+// and instance lifecycle. Three clouds ship built in — AWSLambda (the
+// default), GCPCloudFunctions, and AzureFunctions — and custom platforms
+// register a ProviderSpec with RegisterProvider.
+type Provider = platform.Provider
+
+// ProviderSpec is a concrete, declarative Provider for custom platforms.
+type ProviderSpec = platform.ProviderSpec
+
+// Pricer is the billing scheme of one provider; PricingModel and
+// TieredPricing are the built-in implementations.
+type Pricer = platform.Pricer
+
+// AWSLambda returns the built-in AWS-Lambda-like provider (the paper's
+// platform and the package default): 64 MB-stepped grid to 3008 MB, linear
+// GB-second pricing with 1 ms rounding.
+func AWSLambda() Provider { return platform.AWSLambda() }
+
+// GCPCloudFunctions returns the built-in GCP-Cloud-Functions-gen1-like
+// provider: six fixed memory/CPU tiers to 4096 MB, bundled per-tier
+// pricing, 100 ms billing granularity.
+func GCPCloudFunctions() Provider { return platform.GCPCloudFunctions() }
+
+// AzureFunctions returns the built-in Azure-Functions-consumption-like
+// provider: 128 MB-stepped grid to 1536 MB, GB-second pricing with a
+// 100 ms minimum charge, single-core CPU ceiling.
+func AzureFunctions() Provider { return platform.AzureFunctions() }
+
+// RegisterProvider adds a custom provider to the process-wide registry so
+// it becomes selectable by name (e.g. from CLI flags). Registering a nil
+// provider, an empty name, or a duplicate name is an error.
+func RegisterProvider(p Provider) error {
+	if err := platform.RegisterProvider(p); err != nil {
+		return fmt.Errorf("sizeless: %w", err)
+	}
+	return nil
+}
+
+// Providers returns the names of all registered providers, sorted.
+func Providers() []string { return platform.ProviderNames() }
+
+// ProviderByName resolves a registered provider by case-insensitive name.
+func ProviderByName(name string) (Provider, error) {
+	p, err := platform.LookupProvider(name)
+	if err != nil {
+		return nil, fmt.Errorf("sizeless: %w", err)
+	}
+	return p, nil
+}

@@ -1,6 +1,7 @@
 // Package sizeless is a faithful, self-contained Go implementation of
 // "Sizeless: Predicting the Optimal Size of Serverless Functions"
-// (Eismann et al., Middleware 2021).
+// (Eismann et al., Middleware 2021), generalized from the paper's single
+// AWS-Lambda-like platform to a pluggable multi-cloud Provider model.
 //
 // Sizeless predicts a serverless function's execution time at every memory
 // size from resource-consumption monitoring data collected at a *single*
@@ -9,32 +10,48 @@
 // dedicated performance tests: production monitoring of one deployment is
 // enough.
 //
-// The package exposes the complete pipeline:
+// The API is built from three ideas:
 //
-//	// Offline phase: generate synthetic functions, measure them on the
-//	// simulated FaaS platform, and train the multi-target regression model.
-//	ds, _ := sizeless.GenerateDataset(sizeless.DatasetConfig{Functions: 500, Seed: 1})
-//	pred, _ := sizeless.TrainPredictor(ds, sizeless.PredictorConfig{Base: sizeless.Mem256})
+//   - A Provider describes one FaaS platform — memory grid, pricing,
+//     resource scaling, cold starts. AWSLambda (the default),
+//     GCPCloudFunctions, and AzureFunctions ship built in; custom
+//     platforms register a ProviderSpec with RegisterProvider and become
+//     selectable by name. Because pricing and CPU-share curves differ per
+//     cloud, the same workload can earn a different recommendation on each.
 //
-//	// Online phase: monitor a production function at one size...
-//	summary := monitorYourFunction()
-//	// ...predict all sizes and pick the best tradeoff.
-//	rec, _ := pred.Recommend(summary, 0.75)
-//	fmt.Println(rec.Best)
+//   - Entry points take a context.Context and functional options, so every
+//     long-running phase is cancellable and reports progress:
 //
-// Everything underneath — the Lambda-like platform model, the Node.js-like
+//     ds, _ := sizeless.GenerateDataset(ctx,
+//     sizeless.WithFunctions(500), sizeless.WithSeed(1),
+//     sizeless.WithProvider(sizeless.GCPCloudFunctions()))
+//     pred, _ := sizeless.TrainPredictor(ctx, ds,
+//     sizeless.WithProvider(sizeless.GCPCloudFunctions()))
+//
+//     summary, _ := sizeless.MonitorFunction(ctx, spec)
+//     rec, _ := pred.Recommend(summary, 0.75)
+//
+//   - Batch APIs (Predictor.PredictBatch, Predictor.RecommendBatch, and
+//     Service.RecommendBatch) amortize feature extraction and run the
+//     model's forward passes concurrently — the fleet-scale hot path a
+//     provider-side deployment needs.
+//
+// Everything underneath — the platform simulators, the Node.js-like
 // runtime with the 25 Table-1 metrics, the managed-service simulators, the
 // load generator, the measurement harness, the neural network, and the
 // baselines — lives in internal/ packages and is exercised through this
 // API, the example programs under examples/, and the benchmark harness
 // that regenerates every table and figure of the paper (cmd/benchreport).
+//
+// The pre-options entry points (GenerateDatasetFromConfig and friends)
+// remain as thin deprecated shims over this API.
 package sizeless
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
-	"time"
 
 	"sizeless/internal/core"
 	"sizeless/internal/dataset"
@@ -49,10 +66,10 @@ import (
 	"sizeless/internal/xrand"
 )
 
-// MemorySize is a Lambda memory configuration in MB.
+// MemorySize is a function memory configuration in MB.
 type MemorySize = platform.MemorySize
 
-// The paper's six standard memory sizes.
+// The paper's six standard memory sizes (the AWS grid).
 const (
 	Mem128  = platform.Mem128
 	Mem256  = platform.Mem256
@@ -72,33 +89,23 @@ type Summary = monitoring.Summary
 // Dataset is the training dataset: functions × memory sizes × summaries.
 type Dataset = dataset.Dataset
 
-// DatasetConfig configures the offline dataset-generation phase (§3.1–3.3).
-type DatasetConfig struct {
-	// Functions is the number of synthetic functions (paper: 2000).
-	Functions int
-	// Rate is the load-generator request rate (paper: 30 rps).
-	Rate float64
-	// Duration is the per-experiment window (paper: 10 min).
-	Duration time.Duration
-	// Sizes is the memory grid (default: the six standard sizes).
-	Sizes []MemorySize
-	// Seed anchors all randomness; identical seeds reproduce the dataset
-	// bit-for-bit.
-	Seed int64
-	// Workers bounds parallelism (0 = GOMAXPROCS).
-	Workers int
-}
-
-// GenerateDataset runs the offline measurement campaign: it generates
-// unique synthetic functions from the sixteen-segment catalog, deploys each
-// at every memory size on the simulated platform, drives them with Poisson
-// load, and aggregates the monitored metrics.
-func GenerateDataset(cfg DatasetConfig) (*Dataset, error) {
-	if cfg.Functions <= 0 {
-		return nil, errors.New("sizeless: DatasetConfig.Functions must be positive")
+// GenerateDataset runs the offline measurement campaign (§3.1–3.3): it
+// generates unique synthetic functions from the sixteen-segment catalog,
+// deploys each at every memory size on the selected provider's simulated
+// platform, drives them with Poisson load, and aggregates the monitored
+// metrics. WithFunctions is required; WithProvider, WithSizes, WithSeed,
+// WithRate, WithDuration, WithWorkers, and WithProgress tune the campaign.
+// Cancelling ctx stops the campaign at the next experiment boundary.
+func GenerateDataset(ctx context.Context, opts ...Option) (*Dataset, error) {
+	cfg, err := resolve(opts)
+	if err != nil {
+		return nil, err
 	}
-	gen := fngen.New(xrand.New(cfg.Seed), fngen.Options{})
-	fns, err := gen.Generate(cfg.Functions)
+	if cfg.functions <= 0 {
+		return nil, errors.New("sizeless: GenerateDataset requires WithFunctions(n > 0)")
+	}
+	gen := fngen.New(xrand.New(cfg.seed), fngen.Options{})
+	fns, err := gen.Generate(cfg.functions)
 	if err != nil {
 		return nil, fmt.Errorf("sizeless: %w", err)
 	}
@@ -106,12 +113,14 @@ func GenerateDataset(cfg DatasetConfig) (*Dataset, error) {
 	for i, fn := range fns {
 		specs[i] = fn.Spec
 	}
-	ds, err := harness.BuildDataset(harness.Options{
-		Rate:     cfg.Rate,
-		Duration: cfg.Duration,
-		Sizes:    cfg.Sizes,
-		Seed:     cfg.Seed,
-		Workers:  cfg.Workers,
+	ds, err := harness.BuildDataset(ctx, harness.Options{
+		Env:      cfg.newEnv(),
+		Rate:     cfg.rate,
+		Duration: cfg.duration,
+		Sizes:    cfg.predictionSizes(),
+		Seed:     cfg.seed,
+		Workers:  cfg.workers,
+		Progress: cfg.progress,
 	}, specs)
 	if err != nil {
 		return nil, fmt.Errorf("sizeless: %w", err)
@@ -124,56 +133,74 @@ func ReadDatasetCSV(r io.Reader) (*Dataset, error) {
 	return dataset.ReadCSV(r)
 }
 
-// PredictorConfig configures model training (§3.4).
-type PredictorConfig struct {
-	// Base is the monitored memory size (the paper recommends 256 MB,
-	// which is also the default).
-	Base MemorySize
-	// Hidden, Epochs override the paper-final network (4×256, 200 epochs)
-	// when non-zero — useful for quick experiments.
-	Hidden []int
-	Epochs int
-	// Seed drives weight initialization.
-	Seed int64
-}
-
 // Predictor predicts execution times for all memory sizes from a single
-// monitored size and recommends the optimal size.
+// monitored size and recommends the provider-optimal size.
 type Predictor struct {
-	model   *core.Model
-	pricing platform.PricingModel
+	model    *core.Model
+	provider Provider
+	workers  int
 }
 
-// TrainPredictor fits the multi-target regression model on a dataset.
-func TrainPredictor(ds *Dataset, cfg PredictorConfig) (*Predictor, error) {
-	if cfg.Base == 0 {
-		cfg.Base = Mem256
+// baseFor picks the monitored base size: an explicit WithBase wins,
+// otherwise the size closest to the paper-recommended 256 MB among the
+// dataset's sizes.
+func baseFor(cfg config, sizes []MemorySize) MemorySize {
+	if cfg.base != 0 {
+		return cfg.base
 	}
-	mc := core.DefaultModelConfig(cfg.Base)
+	for _, m := range sizes {
+		if m == Mem256 {
+			return Mem256
+		}
+	}
+	if n := platform.Nearest(Mem256, sizes); n != 0 {
+		return n
+	}
+	return Mem256
+}
+
+// TrainPredictor fits the multi-target regression model (§3.4) on a
+// dataset. WithProvider attaches the pricing/grid used by Recommend;
+// WithBase, WithHidden, WithEpochs, WithEnsembleSize, and WithSeed tune
+// the model. Cancelling ctx aborts training at the next epoch boundary.
+func TrainPredictor(ctx context.Context, ds *Dataset, opts ...Option) (*Predictor, error) {
+	cfg, err := resolve(opts)
+	if err != nil {
+		return nil, err
+	}
+	mc := core.DefaultModelConfig(baseFor(cfg, ds.Sizes))
 	mc.Sizes = ds.Sizes
-	if cfg.Hidden != nil {
-		mc.Hidden = cfg.Hidden
+	if cfg.hidden != nil {
+		mc.Hidden = cfg.hidden
 	}
-	if cfg.Epochs > 0 {
-		mc.Epochs = cfg.Epochs
+	if cfg.epochs > 0 {
+		mc.Epochs = cfg.epochs
 	}
-	if cfg.Seed != 0 {
-		mc.Seed = cfg.Seed
+	if cfg.ensemble > 0 {
+		mc.EnsembleSize = cfg.ensemble
 	}
-	model, err := core.Train(ds, mc)
+	if cfg.seed != 0 {
+		mc.Seed = cfg.seed
+	}
+	model, err := core.Train(ctx, ds, mc)
 	if err != nil {
 		return nil, fmt.Errorf("sizeless: %w", err)
 	}
-	return &Predictor{model: model, pricing: platform.DefaultPricing()}, nil
+	return &Predictor{model: model, provider: cfg.provider, workers: cfg.workers}, nil
 }
 
-// LoadPredictor restores a predictor saved with Save.
-func LoadPredictor(r io.Reader) (*Predictor, error) {
+// LoadPredictor restores a predictor saved with Save. The provider is not
+// serialized; pass WithProvider to re-attach a non-default one.
+func LoadPredictor(r io.Reader, opts ...Option) (*Predictor, error) {
+	cfg, err := resolve(opts)
+	if err != nil {
+		return nil, err
+	}
 	model, err := core.LoadModel(r)
 	if err != nil {
 		return nil, fmt.Errorf("sizeless: %w", err)
 	}
-	return &Predictor{model: model, pricing: platform.DefaultPricing()}, nil
+	return &Predictor{model: model, provider: cfg.provider, workers: cfg.workers}, nil
 }
 
 // Save persists the predictor (weights + scaler + feature names) as JSON.
@@ -187,6 +214,12 @@ func (p *Predictor) Save(w io.Writer) error {
 // Base returns the memory size the predictor expects monitoring data from.
 func (p *Predictor) Base() MemorySize { return p.model.Config().Base }
 
+// Provider returns the platform the predictor recommends for.
+func (p *Predictor) Provider() Provider { return p.provider }
+
+// pricing returns the provider's billing scheme.
+func (p *Predictor) pricing() platform.Pricer { return p.provider.Platform().Pricing }
+
 // Predict returns the expected mean execution time (ms) for every memory
 // size, given a monitoring summary collected at the predictor's base size.
 func (p *Predictor) Predict(s Summary) (map[MemorySize]float64, error) {
@@ -197,61 +230,98 @@ func (p *Predictor) Predict(s Summary) (map[MemorySize]float64, error) {
 	return out, nil
 }
 
+// PredictBatch predicts execution times for many summaries in one pass —
+// the fleet-scale hot path. Feature extraction and scaling are amortized
+// into single matrix operations and the forward passes run concurrently
+// (bounded by WithWorkers at training/load time). Results align
+// positionally with sums and match calling Predict per summary.
+func (p *Predictor) PredictBatch(ctx context.Context, sums []Summary) ([]map[MemorySize]float64, error) {
+	out, err := p.model.PredictBatch(ctx, sums, p.workers)
+	if err != nil {
+		return nil, fmt.Errorf("sizeless: %w", err)
+	}
+	return out, nil
+}
+
 // Recommendation is the optimizer's output for one function.
 type Recommendation = optimizer.Recommendation
 
-// Recommend predicts all sizes and returns the §3.5 recommendation for the
-// given tradeoff t in [0,1]: t = 0.75 prioritizes cost (the paper's
-// recommended setting), t = 0.25 prioritizes performance.
+// Recommend predicts all sizes and returns the §3.5 recommendation under
+// the predictor's provider pricing, for tradeoff t in [0,1]: t = 0.75
+// prioritizes cost (the paper's recommended setting), t = 0.25 prioritizes
+// performance.
 func (p *Predictor) Recommend(s Summary, tradeoff float64) (Recommendation, error) {
 	times, err := p.Predict(s)
 	if err != nil {
 		return Recommendation{}, err
 	}
-	rec, err := optimizer.Optimize(times, p.pricing, tradeoff)
+	rec, err := optimizer.Optimize(times, p.pricing(), tradeoff)
 	if err != nil {
 		return Recommendation{}, fmt.Errorf("sizeless: %w", err)
 	}
 	return rec, nil
 }
 
-// MonitorConfig configures online monitoring of a (simulated) production
-// function — the data-collection side of the online phase.
-type MonitorConfig struct {
-	// Memory is the function's deployed memory size.
-	Memory MemorySize
-	// Rate and Duration define the observation window (the paper shows ten
-	// minutes at production traffic suffices, §3.3).
-	Rate     float64
-	Duration time.Duration
-	// Seed anchors simulation randomness.
-	Seed int64
+// RecommendBatch scores many summaries in one pass: batch prediction plus
+// per-summary optimization under the provider's pricing. Results align
+// positionally with sums.
+func (p *Predictor) RecommendBatch(ctx context.Context, sums []Summary, tradeoff float64) ([]Recommendation, error) {
+	times, err := p.PredictBatch(ctx, sums)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Recommendation, len(times))
+	for i, t := range times {
+		rec, err := optimizer.Optimize(t, p.pricing(), tradeoff)
+		if err != nil {
+			return nil, fmt.Errorf("sizeless: summary %d: %w", i, err)
+		}
+		out[i] = rec
+	}
+	return out, nil
 }
 
-// MonitorFunction runs a workload spec on the simulated platform at one
-// memory size and returns its monitoring summary — the stand-in for reading
-// production monitoring data off a real deployment.
-func MonitorFunction(spec *workload.Spec, cfg MonitorConfig) (Summary, error) {
-	if cfg.Memory == 0 {
-		cfg.Memory = Mem256
+// MonitorFunction runs a workload spec on the provider's simulated
+// platform at one memory size (WithMemory; default the size closest to
+// 256 MB on the provider's grid) and returns its monitoring summary — the
+// stand-in for reading production monitoring data off a real deployment.
+// WithRate, WithDuration, and WithSeed define the observation window.
+func MonitorFunction(ctx context.Context, spec *workload.Spec, opts ...Option) (Summary, error) {
+	cfg, err := resolve(opts)
+	if err != nil {
+		return Summary{}, err
+	}
+	if err := ctx.Err(); err != nil {
+		return Summary{}, fmt.Errorf("sizeless: %w", err)
+	}
+	mem := cfg.memory
+	if mem == 0 {
+		mem = cfg.provider.Grid().Nearest(Mem256)
+		if mem == 0 {
+			mem = Mem256
+		}
 	}
 	sum, _, err := harness.Measure(harness.Options{
-		Rate:     cfg.Rate,
-		Duration: cfg.Duration,
-		Seed:     cfg.Seed,
-	}, spec, cfg.Memory, 0)
+		Env:      cfg.newEnv(),
+		Rate:     cfg.rate,
+		Duration: cfg.duration,
+		Seed:     cfg.seed,
+	}, spec, mem, 0)
 	if err != nil {
 		return Summary{}, fmt.Errorf("sizeless: %w", err)
 	}
 	return sum, nil
 }
 
-// NewEnv returns a fresh simulated platform environment, exposed for
-// advanced scenarios (custom drift, service latency overrides).
+// NewEnv returns a fresh simulated platform environment for the default
+// (AWS-Lambda-like) provider, exposed for advanced scenarios (custom
+// drift, service latency overrides). NewEnvFor builds one for any
+// provider.
 func NewEnv() *runtime.Env { return runtime.NewEnv() }
 
-// ServiceConfig configures the continuous recommendation service.
-type ServiceConfig = recommender.Config
+// NewEnvFor returns a fresh simulated environment running the given
+// provider's platform. Pass it through WithEnv after customizing.
+func NewEnvFor(p Provider) *runtime.Env { return runtime.NewEnvFor(p.Platform()) }
 
 // Service is a continuously running, drift-aware recommender that tracks a
 // fleet of functions — the provider-side deployment the paper's
@@ -259,10 +329,30 @@ type ServiceConfig = recommender.Config
 type Service = recommender.Service
 
 // NewService wraps the predictor in a continuous recommendation service:
-// ingest monitoring windows per function; recommendations refresh only when
-// the workload's resource profile drifts (paper §5).
-func (p *Predictor) NewService(cfg ServiceConfig) (*Service, error) {
-	svc, err := recommender.New(p.model, cfg)
+// ingest monitoring windows per function; recommendations refresh only
+// when the workload's resource profile drifts (paper §5). WithTradeoff,
+// WithMinWindow, WithDrift, and WithWorkers tune it; pricing follows the
+// predictor's provider.
+func (p *Predictor) NewService(opts ...Option) (*Service, error) {
+	cfg, err := resolve(opts)
+	if err != nil {
+		return nil, err
+	}
+	pricing := p.pricing()
+	if cfg.hasProvider {
+		pricing = cfg.provider.Platform().Pricing
+	}
+	rc := recommender.Config{
+		Tradeoff:    cfg.tradeoff,
+		TradeoffSet: cfg.hasTradeoff,
+		MinWindow:   cfg.minWindow,
+		Pricing:     pricing,
+		Workers:     cfg.workers,
+	}
+	if cfg.hasDrift {
+		rc.Drift = cfg.drift
+	}
+	svc, err := recommender.New(p.model, rc)
 	if err != nil {
 		return nil, fmt.Errorf("sizeless: %w", err)
 	}

@@ -2,6 +2,10 @@ package sizeless_test
 
 import (
 	"bytes"
+	"context"
+	"errors"
+	"math"
+	"sync"
 	"testing"
 	"time"
 
@@ -26,43 +30,65 @@ func demoSpec() *workload.Spec {
 	}
 }
 
+// The shared AWS dataset/predictor are built once: several tests only read
+// them, and dataset generation dominates the package's test time.
+var (
+	quickOnce sync.Once
+	quickDS   *sizeless.Dataset
+	quickPred *sizeless.Predictor
+	quickErr  error
+)
+
 func quickDataset(t *testing.T) *sizeless.Dataset {
 	t.Helper()
-	ds, err := sizeless.GenerateDataset(sizeless.DatasetConfig{
-		Functions: 60,
-		Rate:      10,
-		Duration:  5 * time.Second,
-		Seed:      42,
+	quickOnce.Do(func() {
+		quickDS, quickErr = sizeless.GenerateDataset(context.Background(),
+			sizeless.WithFunctions(60),
+			sizeless.WithRate(10),
+			sizeless.WithDuration(5*time.Second),
+			sizeless.WithSeed(42),
+		)
+		if quickErr != nil {
+			return
+		}
+		quickPred, quickErr = sizeless.TrainPredictor(context.Background(), quickDS,
+			sizeless.WithHidden(32, 32),
+			sizeless.WithEpochs(150),
+		)
 	})
-	if err != nil {
-		t.Fatal(err)
+	if quickErr != nil {
+		t.Fatal(quickErr)
 	}
-	return ds
+	return quickDS
+}
+
+func quickPredictor(t *testing.T) *sizeless.Predictor {
+	t.Helper()
+	quickDataset(t)
+	return quickPred
 }
 
 func TestEndToEndPipeline(t *testing.T) {
+	ctx := context.Background()
 	ds := quickDataset(t)
 	if len(ds.Rows) != 60 {
 		t.Fatalf("dataset rows = %d, want 60", len(ds.Rows))
 	}
 
-	pred, err := sizeless.TrainPredictor(ds, sizeless.PredictorConfig{
-		Hidden: []int{32, 32},
-		Epochs: 150,
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
+	pred := quickPredictor(t)
 	if pred.Base() != sizeless.Mem256 {
 		t.Errorf("default base = %v, want 256MB", pred.Base())
 	}
+	if pred.Provider().Name() != "aws-lambda" {
+		t.Errorf("default provider = %q, want aws-lambda", pred.Provider().Name())
+	}
 
-	summary, err := sizeless.MonitorFunction(demoSpec(), sizeless.MonitorConfig{
-		Memory:   sizeless.Mem256,
-		Rate:     10,
-		Duration: 10 * time.Second,
-		Seed:     7,
-	})
+	summary, err := sizeless.MonitorFunction(ctx, demoSpec(),
+		sizeless.WithMemory(sizeless.Mem256),
+		sizeless.WithRate(10),
+		sizeless.WithDuration(10*time.Second),
+		sizeless.WithSeed(7),
+	)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,12 +124,270 @@ func TestEndToEndPipeline(t *testing.T) {
 	}
 }
 
+func TestPredictBatchMatchesLoop(t *testing.T) {
+	ctx := context.Background()
+	ds := quickDataset(t)
+	pred := quickPredictor(t)
+
+	sums := make([]sizeless.Summary, 0, len(ds.Rows))
+	for _, row := range ds.Rows {
+		sums = append(sums, row.Summaries[sizeless.Mem256])
+	}
+
+	batch, err := pred.PredictBatch(ctx, sums)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch) != len(sums) {
+		t.Fatalf("batch returned %d results, want %d", len(batch), len(sums))
+	}
+	// The batch path uses a reassociated (but deterministic) summation for
+	// speed, so allow a few ULPs of drift against the scalar path.
+	const relTol = 1e-9
+	for i, s := range sums {
+		single, err := pred.Predict(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for m, v := range single {
+			if diff := math.Abs(batch[i][m] - v); diff > relTol*math.Abs(v) {
+				t.Fatalf("batch[%d] differs from Predict at %v: %v vs %v", i, m, batch[i][m], v)
+			}
+		}
+	}
+
+	recs, err := pred.RecommendBatch(ctx, sums, 0.75)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range sums {
+		rec, err := pred.Recommend(s, 0.75)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if recs[i].Best != rec.Best {
+			t.Fatalf("batch recommendation %d selected %v, loop selected %v", i, recs[i].Best, rec.Best)
+		}
+	}
+}
+
+func TestPredictBatchEmptyAndCancelled(t *testing.T) {
+	pred := quickPredictor(t)
+	out, err := pred.PredictBatch(context.Background(), nil)
+	if err != nil || out != nil {
+		t.Errorf("empty batch = (%v, %v), want (nil, nil)", out, err)
+	}
+
+	ds := quickDataset(t)
+	sums := make([]sizeless.Summary, 0, len(ds.Rows))
+	for _, row := range ds.Rows {
+		sums = append(sums, row.Summaries[sizeless.Mem256])
+	}
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := pred.PredictBatch(cancelled, sums); !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled batch error = %v, want context.Canceled", err)
+	}
+}
+
+func TestGenerateDatasetCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := sizeless.GenerateDataset(ctx,
+		sizeless.WithFunctions(10),
+		sizeless.WithDuration(2*time.Second),
+	)
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled campaign error = %v, want context.Canceled", err)
+	}
+}
+
+func TestGenerateDatasetProgress(t *testing.T) {
+	var mu sync.Mutex
+	var calls int
+	var lastDone, lastTotal int
+	_, err := sizeless.GenerateDataset(context.Background(),
+		sizeless.WithFunctions(3),
+		sizeless.WithRate(10),
+		sizeless.WithDuration(2*time.Second),
+		sizeless.WithSeed(5),
+		sizeless.WithProgress(func(done, total int) {
+			mu.Lock()
+			calls++
+			lastDone, lastTotal = done, total
+			mu.Unlock()
+		}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 18 || lastDone != 18 || lastTotal != 18 {
+		t.Errorf("progress calls=%d last=%d/%d, want 18 calls ending 18/18", calls, lastDone, lastTotal)
+	}
+}
+
+func TestProviderPipelineGCP(t *testing.T) {
+	ctx := context.Background()
+	gcp := sizeless.GCPCloudFunctions()
+	ds, err := sizeless.GenerateDataset(ctx,
+		sizeless.WithProvider(gcp),
+		sizeless.WithFunctions(40),
+		sizeless.WithRate(10),
+		sizeless.WithDuration(4*time.Second),
+		sizeless.WithSeed(11),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSizes := gcp.DefaultSizes()
+	if len(ds.Sizes) != len(wantSizes) {
+		t.Fatalf("GCP dataset has %d sizes, want %d", len(ds.Sizes), len(wantSizes))
+	}
+	for i, m := range wantSizes {
+		if ds.Sizes[i] != m {
+			t.Fatalf("GCP dataset size[%d] = %v, want %v", i, ds.Sizes[i], m)
+		}
+	}
+
+	pred, err := sizeless.TrainPredictor(ctx, ds,
+		sizeless.WithProvider(gcp),
+		sizeless.WithHidden(24, 24),
+		sizeless.WithEpochs(80),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pred.Provider().Name() != "gcp-cloudfunctions" {
+		t.Errorf("provider = %q, want gcp-cloudfunctions", pred.Provider().Name())
+	}
+
+	summary, err := sizeless.MonitorFunction(ctx, demoSpec(),
+		sizeless.WithProvider(gcp),
+		sizeless.WithRate(10),
+		sizeless.WithDuration(8*time.Second),
+		sizeless.WithSeed(7),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := pred.Recommend(summary, 0.75)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !gcp.Grid().Valid(rec.Best) {
+		t.Errorf("GCP recommendation %v not on the GCP grid", rec.Best)
+	}
+	if len(rec.Options) != len(wantSizes) {
+		t.Errorf("GCP recommendation scored %d options, want %d", len(rec.Options), len(wantSizes))
+	}
+}
+
+func TestMonitorFunctionAzureGridDefault(t *testing.T) {
+	// Azure has no 3008MB; monitoring at an off-grid size must fail, and
+	// the default memory must land on the Azure grid.
+	azure := sizeless.AzureFunctions()
+	_, err := sizeless.MonitorFunction(context.Background(), demoSpec(),
+		sizeless.WithProvider(azure),
+		sizeless.WithMemory(sizeless.Mem3008),
+		sizeless.WithDuration(2*time.Second),
+	)
+	if err == nil {
+		t.Error("monitoring at 3008MB on Azure should error (grid caps at 1536MB)")
+	}
+
+	sum, err := sizeless.MonitorFunction(context.Background(), demoSpec(),
+		sizeless.WithProvider(azure),
+		sizeless.WithRate(10),
+		sizeless.WithDuration(4*time.Second),
+		sizeless.WithSeed(3),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.N == 0 {
+		t.Error("Azure monitoring produced no samples")
+	}
+}
+
+func TestProviderRegistryPublicAPI(t *testing.T) {
+	names := sizeless.Providers()
+	want := map[string]bool{"aws-lambda": false, "gcp-cloudfunctions": false, "azure-functions": false}
+	for _, n := range names {
+		if _, ok := want[n]; ok {
+			want[n] = true
+		}
+	}
+	for n, seen := range want {
+		if !seen {
+			t.Errorf("built-in provider %q not listed", n)
+		}
+	}
+	if _, err := sizeless.ProviderByName("AWS-Lambda"); err != nil {
+		t.Errorf("lookup should be case-insensitive: %v", err)
+	}
+	if _, err := sizeless.ProviderByName("definitely-not-a-cloud"); err == nil {
+		t.Error("unknown provider lookup should error")
+	}
+	if err := sizeless.RegisterProvider(sizeless.AWSLambda()); err == nil {
+		t.Error("duplicate registration should error")
+	}
+}
+
+func TestOptionValidation(t *testing.T) {
+	ctx := context.Background()
+	if _, err := sizeless.GenerateDataset(ctx); err == nil {
+		t.Error("GenerateDataset without WithFunctions should error")
+	}
+	if _, err := sizeless.GenerateDataset(ctx, sizeless.WithFunctions(-1)); err == nil {
+		t.Error("negative function count should error")
+	}
+	if _, err := sizeless.GenerateDataset(ctx, sizeless.WithFunctions(1), sizeless.WithProvider(nil)); err == nil {
+		t.Error("nil provider should error")
+	}
+	if _, err := sizeless.GenerateDataset(ctx, sizeless.WithFunctions(1), sizeless.WithTradeoff(2)); err == nil {
+		t.Error("out-of-range tradeoff should error")
+	}
+}
+
+func TestDeprecatedConfigShims(t *testing.T) {
+	ds, err := sizeless.GenerateDatasetFromConfig(sizeless.DatasetConfig{
+		Functions: 8,
+		Rate:      10,
+		Duration:  3 * time.Second,
+		Seed:      42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Rows) != 8 {
+		t.Fatalf("shim dataset rows = %d, want 8", len(ds.Rows))
+	}
+	if _, err := sizeless.GenerateDatasetFromConfig(sizeless.DatasetConfig{}); err == nil {
+		t.Error("zero functions should error through the shim")
+	}
+
+	pred, err := sizeless.TrainPredictorFromConfig(ds, sizeless.PredictorConfig{Hidden: []int{16}, Epochs: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := sizeless.MonitorFunctionFromConfig(demoSpec(), sizeless.MonitorConfig{
+		Rate: 10, Duration: 3 * time.Second, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pred.Recommend(sum, 0.75); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pred.NewServiceFromConfig(sizeless.ServiceConfig{MinWindow: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestPredictorSaveLoadRoundTrip(t *testing.T) {
 	ds := quickDataset(t)
-	pred, err := sizeless.TrainPredictor(ds, sizeless.PredictorConfig{
-		Hidden: []int{24},
-		Epochs: 60,
-	})
+	pred, err := sizeless.TrainPredictor(context.Background(), ds,
+		sizeless.WithHidden(24), sizeless.WithEpochs(60))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -116,9 +400,8 @@ func TestPredictorSaveLoadRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	summary, err := sizeless.MonitorFunction(demoSpec(), sizeless.MonitorConfig{
-		Rate: 10, Duration: 5 * time.Second, Seed: 7,
-	})
+	summary, err := sizeless.MonitorFunction(context.Background(), demoSpec(),
+		sizeless.WithRate(10), sizeless.WithDuration(5*time.Second), sizeless.WithSeed(7))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -151,11 +434,12 @@ func TestDatasetCSVRoundTripViaFacade(t *testing.T) {
 		t.Fatalf("round trip lost rows: %d vs %d", len(back.Rows), len(ds.Rows))
 	}
 	// A predictor trained on the round-tripped dataset behaves identically.
-	p1, err := sizeless.TrainPredictor(ds, sizeless.PredictorConfig{Hidden: []int{16}, Epochs: 30})
+	ctx := context.Background()
+	p1, err := sizeless.TrainPredictor(ctx, ds, sizeless.WithHidden(16), sizeless.WithEpochs(30))
 	if err != nil {
 		t.Fatal(err)
 	}
-	p2, err := sizeless.TrainPredictor(back, sizeless.PredictorConfig{Hidden: []int{16}, Epochs: 30})
+	p2, err := sizeless.TrainPredictor(ctx, back, sizeless.WithHidden(16), sizeless.WithEpochs(30))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -175,18 +459,9 @@ func TestDatasetCSVRoundTripViaFacade(t *testing.T) {
 	}
 }
 
-func TestGenerateDatasetErrors(t *testing.T) {
-	if _, err := sizeless.GenerateDataset(sizeless.DatasetConfig{}); err == nil {
-		t.Error("zero functions should error")
-	}
-}
-
 func TestRecommendTradeoffValidation(t *testing.T) {
 	ds := quickDataset(t)
-	pred, err := sizeless.TrainPredictor(ds, sizeless.PredictorConfig{Hidden: []int{16}, Epochs: 30})
-	if err != nil {
-		t.Fatal(err)
-	}
+	pred := quickPredictor(t)
 	summary := ds.Rows[0].Summaries[sizeless.Mem256]
 	if _, err := pred.Recommend(summary, 1.5); err == nil {
 		t.Error("tradeoff > 1 should error")
