@@ -10,7 +10,12 @@
 //
 // Experiment ids: fig1 fig3 fig4 fig5 table2 table3 fig6 table4-7 fig7
 // table8 baselines ablation-targets ablation-features ablation-increments
-// transfer.
+// transfer transfer-matrix.
+//
+// "transfer-matrix" goes beyond the paper: it trains a model per built-in
+// provider and scores every source→target pair under the stale, fine-tuned
+// (Predictor.Adapt), and from-scratch strategies — the cross-provider
+// portability quantification of the §5 adaptation workflow.
 package main
 
 import (
@@ -80,6 +85,9 @@ func runners() []experimentRunner {
 		}},
 		{"transfer", func(lab *experiments.Lab) (renderable, error) {
 			return experiments.TransferLearning(lab)
+		}},
+		{"transfer-matrix", func(lab *experiments.Lab) (renderable, error) {
+			return experiments.TransferMatrix(lab)
 		}},
 	}
 }

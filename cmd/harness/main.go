@@ -6,6 +6,12 @@
 //
 //	harness -functions 200 -rate 30 -duration 1m -out dataset.csv
 //	harness -functions 200 -provider gcp-cloudfunctions -out gcp.csv
+//	harness -functions 50 -provider gcp-cloudfunctions -sizes 128,256,512,1024 -out gcp-adapt.csv
+//
+// The -sizes flag restricts the measured grid — required when producing
+// the portable-grid datasets of the cross-provider migration workflow
+// ("sizeless adapt" needs the adaptation CSV measured at the source
+// model's own sizes; see the sizeless package docs).
 //
 // Ctrl-C cancels the campaign at the next experiment boundary.
 package main
@@ -16,6 +22,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
 	"time"
 
 	"sizeless"
@@ -39,6 +46,7 @@ func run(ctx context.Context, args []string) error {
 	seed := fs.Int64("seed", 1, "campaign seed")
 	workers := fs.Int("workers", 0, "parallel experiments (0 = GOMAXPROCS)")
 	providerName := fs.String("provider", platform.AWSLambdaName, "platform provider (see 'sizeless providers')")
+	sizesFlag := fs.String("sizes", "", "comma-separated memory sizes in MB (default: the provider's grid)")
 	out := fs.String("out", "dataset.csv", "output CSV path")
 	quiet := fs.Bool("quiet", false, "suppress progress output")
 	if err := fs.Parse(args); err != nil {
@@ -51,10 +59,16 @@ func run(ctx context.Context, args []string) error {
 
 	start := time.Now()
 	sizes := provider.DefaultSizes()
+	if *sizesFlag != "" {
+		if sizes, err = parseSizes(*sizesFlag, provider); err != nil {
+			return err
+		}
+	}
 	fmt.Fprintf(os.Stderr, "measuring %d functions × %d sizes on %s at %.0f rps for %v each...\n",
 		*functions, len(sizes), provider.Name(), *rate, *duration)
 	opts := []sizeless.Option{
 		sizeless.WithProvider(provider),
+		sizeless.WithSizes(sizes...),
 		sizeless.WithFunctions(*functions),
 		sizeless.WithRate(*rate),
 		sizeless.WithDuration(*duration),
@@ -87,4 +101,18 @@ func run(ctx context.Context, args []string) error {
 	fmt.Fprintf(os.Stderr, "wrote %s (%d functions × %d sizes) in %v\n",
 		*out, len(ds.Rows), len(ds.Sizes), time.Since(start).Round(time.Millisecond))
 	return nil
+}
+
+// parseSizes parses a comma-separated MB list and validates each size
+// against the provider's deployable grid.
+func parseSizes(s string, provider sizeless.Provider) ([]sizeless.MemorySize, error) {
+	var out []sizeless.MemorySize
+	for _, part := range strings.Split(s, ",") {
+		m, err := provider.Grid().Parse(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("-sizes: %w", err)
+		}
+		out = append(out, m)
+	}
+	return out, nil
 }

@@ -4,6 +4,7 @@
 //	sizeless evaluate -dataset dataset.csv -base 256
 //	sizeless recommend -model model.json -dataset dataset.csv -function synthetic-0007 -t 0.75
 //	sizeless recommend ... -provider gcp-cloudfunctions
+//	sizeless adapt -model model.json -dataset gcp-small.csv -provider gcp-cloudfunctions -out adapted.json
 //	sizeless demo -provider azure-functions
 //	sizeless providers
 //
@@ -11,14 +12,19 @@
 // cmd/harness. "evaluate" reports cross-validated model quality (the
 // Table 3 metrics). "recommend" predicts all memory sizes for one monitored
 // function and prints the §3.5 recommendation under the selected provider's
-// pricing. "demo" runs the whole pipeline end-to-end at a small scale on
-// the selected provider. "providers" lists the registered platforms.
+// pricing. "adapt" is the §5 migration workflow: it fine-tunes a saved
+// model on a small dataset measured on the target platform and writes an
+// adapted model file bound to that provider (pass -eval test.csv to
+// quantify stale vs adapted accuracy on a held-out target dataset). "demo"
+// runs the whole pipeline end-to-end at a small scale on the selected
+// provider. "providers" lists the registered platforms.
 //
 // Every subcommand honours Ctrl-C: measurement campaigns and training stop
 // at the next experiment/epoch boundary.
 package main
 
 import (
+	"bytes"
 	"context"
 	"flag"
 	"fmt"
@@ -44,7 +50,7 @@ func main() {
 
 func run(ctx context.Context, args []string) error {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: sizeless <train|evaluate|recommend|demo|providers> [flags]")
+		return fmt.Errorf("usage: sizeless <train|evaluate|recommend|adapt|demo|providers> [flags]")
 	}
 	switch args[0] {
 	case "train":
@@ -53,6 +59,8 @@ func run(ctx context.Context, args []string) error {
 		return cmdEvaluate(ctx, args[1:])
 	case "recommend":
 		return cmdRecommend(ctx, args[1:])
+	case "adapt":
+		return cmdAdapt(ctx, args[1:])
 	case "demo":
 		return cmdDemo(ctx, args[1:])
 	case "providers":
@@ -224,6 +232,105 @@ func cmdRecommend(ctx context.Context, args []string) error {
 			o.Memory, o.ExecTimeMs, o.Cost*1e6, o.SCost, o.SPerf, o.STotal)
 	}
 	fmt.Printf("recommended: %v\n", rec.Best)
+	return nil
+}
+
+// cmdAdapt is the cross-provider migration workflow: load a trained model,
+// fine-tune it on a small dataset measured on the target platform, and
+// write an adapted model file bound to the target provider.
+func cmdAdapt(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("adapt", flag.ContinueOnError)
+	modelPath := fs.String("model", "model.json", "trained source model path")
+	dsPath := fs.String("dataset", "adapt.csv", "small adaptation dataset CSV measured on the target platform")
+	out := fs.String("out", "adapted.json", "output path for the adapted model")
+	sourceName := fs.String("source", "", "provider the model was trained for (default: the model's recorded provenance, else "+platform.AWSLambdaName+")")
+	providerName := fs.String("provider", "", "target platform provider (default: same as the source)")
+	freeze := fs.Int("freeze", -1, "layers to freeze during fine-tuning (-1 = half the network, 0 = none)")
+	epochs := fs.Int("epochs", 100, "fine-tuning epochs")
+	evalPath := fs.String("eval", "", "optional held-out target dataset CSV: report stale vs adapted accuracy")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	// Model files don't serialize a provider, so the source binding comes
+	// from -source, or — when re-adapting an already-adapted model — from
+	// the provenance recorded in the file.
+	data, err := os.ReadFile(*modelPath)
+	if err != nil {
+		return err
+	}
+	pred, err := sizeless.LoadPredictor(bytes.NewReader(data))
+	if err != nil {
+		return err
+	}
+	src := *sourceName
+	if src == "" {
+		src = pred.Provenance().Target
+	}
+	if src != "" && src != pred.Provider().Name() {
+		srcProvider, err := sizeless.ProviderByName(src)
+		if err != nil {
+			return fmt.Errorf("source provider: %w", err)
+		}
+		if pred, err = sizeless.LoadPredictor(bytes.NewReader(data), sizeless.WithProvider(srcProvider)); err != nil {
+			return err
+		}
+	}
+	ds, err := loadDataset(*dsPath)
+	if err != nil {
+		return err
+	}
+
+	opts := []sizeless.Option{sizeless.WithFineTuneEpochs(*epochs)}
+	if *providerName != "" {
+		provider, err := sizeless.ProviderByName(*providerName)
+		if err != nil {
+			return err
+		}
+		opts = append(opts, sizeless.WithProvider(provider))
+	}
+	if *freeze >= 0 {
+		opts = append(opts, sizeless.WithFreezeLayers(*freeze))
+	}
+
+	start := time.Now()
+	adapted, err := pred.Adapt(ctx, ds, opts...)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := adapted.Save(f); err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	prov := adapted.Provenance()
+	fmt.Fprintf(os.Stderr, "adapted %s→%s on %d functions (froze %d layers, %d epochs) in %v → %s\n",
+		prov.Source, prov.Target, prov.AdaptRows, prov.FreezeLayers, prov.Epochs,
+		time.Since(start).Round(time.Millisecond), *out)
+
+	if *evalPath != "" {
+		evalDS, err := loadDataset(*evalPath)
+		if err != nil {
+			return err
+		}
+		stale, err := pred.Evaluate(evalDS)
+		if err != nil {
+			return err
+		}
+		tuned, err := adapted.Evaluate(evalDS)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("held-out target accuracy (%d functions):\n", len(evalDS.Rows))
+		fmt.Printf("  stale    MAPE=%.4f R2=%.4f\n", stale.MAPE, stale.R2)
+		fmt.Printf("  adapted  MAPE=%.4f R2=%.4f\n", tuned.MAPE, tuned.R2)
+	}
 	return nil
 }
 

@@ -59,6 +59,106 @@ func TestTrainEvaluateRecommendPipeline(t *testing.T) {
 	}
 }
 
+// writeProviderDataset measures a corpus on the given provider over the
+// AWS/GCP-portable grid and writes it as CSV.
+func writeProviderDataset(t *testing.T, name string, providerName string, functions int, seed int64) string {
+	t.Helper()
+	provider, err := sizeless.ProviderByName(providerName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aws, gcp := sizeless.AWSLambda(), sizeless.GCPCloudFunctions()
+	ds, err := sizeless.GenerateDataset(context.Background(),
+		sizeless.WithProvider(provider),
+		sizeless.WithSizes(sizeless.CommonSizes(aws, gcp)...),
+		sizeless.WithFunctions(functions),
+		sizeless.WithRate(10),
+		sizeless.WithDuration(4*time.Second),
+		sizeless.WithSeed(seed),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), name)
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := ds.WriteCSV(f); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestAdaptSubcommand(t *testing.T) {
+	ctx := context.Background()
+	srcPath := writeProviderDataset(t, "aws.csv", "aws-lambda", 30, 3)
+	adaptPath := writeProviderDataset(t, "gcp-adapt.csv", "gcp-cloudfunctions", 12, 4)
+	evalPath := writeProviderDataset(t, "gcp-eval.csv", "gcp-cloudfunctions", 10, 5)
+	modelPath := filepath.Join(t.TempDir(), "model.json")
+	adaptedPath := filepath.Join(t.TempDir(), "adapted.json")
+
+	if err := run(ctx, []string{"train", "-dataset", srcPath, "-epochs", "40", "-out", modelPath}); err != nil {
+		t.Fatalf("train: %v", err)
+	}
+	if err := run(ctx, []string{"adapt", "-model", modelPath, "-dataset", adaptPath,
+		"-provider", "gcp-cloudfunctions", "-epochs", "60", "-out", adaptedPath,
+		"-eval", evalPath}); err != nil {
+		t.Fatalf("adapt: %v", err)
+	}
+
+	f, err := os.Open(adaptedPath)
+	if err != nil {
+		t.Fatalf("adapted model not written: %v", err)
+	}
+	defer f.Close()
+	pred, err := sizeless.LoadPredictor(f)
+	if err != nil {
+		t.Fatalf("adapted model does not load: %v", err)
+	}
+	prov := pred.Provenance()
+	if !prov.FineTuned || prov.Source != "aws-lambda" || prov.Target != "gcp-cloudfunctions" {
+		t.Errorf("provenance not persisted: %+v", prov)
+	}
+	if prov.AdaptRows != 12 || prov.Epochs != 60 {
+		t.Errorf("provenance settings wrong: %+v", prov)
+	}
+
+	// Re-adapting the adapted model infers its source from the recorded
+	// provenance: no -source needed, and the lineage stays truthful.
+	rePath := filepath.Join(t.TempDir(), "readapted.json")
+	if err := run(ctx, []string{"adapt", "-model", adaptedPath, "-dataset", evalPath,
+		"-provider", "gcp-cloudfunctions", "-epochs", "20", "-out", rePath}); err != nil {
+		t.Fatalf("re-adapt: %v", err)
+	}
+	rf, err := os.Open(rePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rf.Close()
+	rePred, err := sizeless.LoadPredictor(rf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rePred.Provenance().Source; got != "gcp-cloudfunctions" {
+		t.Errorf("re-adapt source = %q, want provenance-inferred gcp-cloudfunctions", got)
+	}
+
+	// Unknown providers and a missing model are rejected.
+	if err := run(ctx, []string{"adapt", "-model", modelPath, "-dataset", adaptPath,
+		"-provider", "no-such-cloud"}); err == nil {
+		t.Error("unknown provider should error")
+	}
+	if err := run(ctx, []string{"adapt", "-model", modelPath, "-dataset", adaptPath,
+		"-source", "no-such-cloud"}); err == nil {
+		t.Error("unknown source provider should error")
+	}
+	if err := run(ctx, []string{"adapt", "-model", "/does/not/exist.json"}); err == nil {
+		t.Error("missing model should error")
+	}
+}
+
 func TestProvidersSubcommand(t *testing.T) {
 	if err := run(context.Background(), []string{"providers"}); err != nil {
 		t.Fatalf("providers: %v", err)

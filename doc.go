@@ -1,0 +1,88 @@
+// Package sizeless is a faithful, self-contained Go implementation of
+// "Sizeless: Predicting the Optimal Size of Serverless Functions"
+// (Eismann et al., Middleware 2021), generalized from the paper's single
+// AWS-Lambda-like platform to a pluggable multi-cloud Provider model.
+//
+// Sizeless predicts a serverless function's execution time at every memory
+// size from resource-consumption monitoring data collected at a *single*
+// memory size, then recommends the cost/performance-optimal size. Unlike
+// profiling approaches (AWS Lambda Power Tuning, COSE, BATCH), it needs no
+// dedicated performance tests: production monitoring of one deployment is
+// enough.
+//
+// The API is built from four ideas:
+//
+//   - A Provider describes one FaaS platform — memory grid, pricing,
+//     resource scaling, cold starts. AWSLambda (the default),
+//     GCPCloudFunctions, and AzureFunctions ship built in; custom
+//     platforms register a ProviderSpec with RegisterProvider and become
+//     selectable by name. Because pricing and CPU-share curves differ per
+//     cloud, the same workload can earn a different recommendation on each.
+//
+//   - Entry points take a context.Context and functional options, so every
+//     long-running phase is cancellable and reports progress:
+//
+//     ds, _ := sizeless.GenerateDataset(ctx,
+//     sizeless.WithFunctions(500), sizeless.WithSeed(1),
+//     sizeless.WithProvider(sizeless.GCPCloudFunctions()))
+//     pred, _ := sizeless.TrainPredictor(ctx, ds,
+//     sizeless.WithProvider(sizeless.GCPCloudFunctions()))
+//
+//     summary, _ := sizeless.MonitorFunction(ctx, spec)
+//     rec, _ := pred.Recommend(summary, 0.75)
+//
+//   - Batch APIs (Predictor.PredictBatch, Predictor.RecommendBatch, and
+//     Service.RecommendBatch) amortize feature extraction and run the
+//     model's forward passes concurrently — the fleet-scale hot path a
+//     provider-side deployment needs.
+//
+//   - A trained model survives platform changes through adaptation rather
+//     than retraining: Predictor.Adapt fine-tunes it on a small corpus
+//     measured on the changed (or different) platform — the paper's §5
+//     transfer-learning proposal as a first-class workflow (see below).
+//
+// # The migration workflow
+//
+// A Sizeless model encodes one platform's resource-scaling behaviour, so a
+// provider-side runtime upgrade — or a migration to another cloud —
+// silently degrades its predictions. The §5 answer is transfer learning:
+// keep the network's early layers (the learned feature structure), retrain
+// the rest on a small new-platform corpus. Step by step:
+//
+//  1. Train on a portable grid. Adaptation reuses the model's prediction
+//     targets, so every size the model predicts must be deployable on the
+//     target platform. CommonSizes(src, dst) returns the shared grid; pass
+//     it to GenerateDataset/TrainPredictor via WithSizes. (For an in-place
+//     platform upgrade the grid is unchanged and this step is a no-op.)
+//
+//  2. Measure a small adaptation corpus on the target: tens of functions
+//     instead of the full 2000-function campaign, at the model's own sizes
+//     (Predictor.Sizes), e.g. with GenerateDataset(WithProvider(dst),
+//     WithSizes(pred.Sizes()...)).
+//
+//  3. Adapt: adapted, err := pred.Adapt(ctx, smallDS,
+//     WithProvider(dst), WithFreezeLayers(k), WithFineTuneEpochs(n)).
+//     The result is a new Predictor bound to the target provider, with the
+//     source feature scaler preserved and a Provenance stamp (source,
+//     target, freeze/epoch settings) that persists through Save/Load.
+//
+//  4. Verify: Predictor.Evaluate on a held-out target dataset quantifies
+//     what the change cost and what adaptation recovered; the
+//     "transfer-matrix" experiment in cmd/benchreport runs this comparison
+//     for every built-in provider pair.
+//
+// The same workflow is scriptable without Go code: "sizeless adapt" in
+// cmd/sizeless turns a saved model file plus a target-platform CSV into an
+// adapted model file. examples/cross-cloud-migration walks an AWS-trained
+// model through GCP adaptation end to end.
+//
+// Everything underneath — the platform simulators, the Node.js-like
+// runtime with the 25 Table-1 metrics, the managed-service simulators, the
+// load generator, the measurement harness, the neural network, and the
+// baselines — lives in internal/ packages and is exercised through this
+// API, the example programs under examples/, and the benchmark harness
+// that regenerates every table and figure of the paper (cmd/benchreport).
+//
+// The pre-options entry points (GenerateDatasetFromConfig and friends)
+// remain as thin deprecated shims over this API; see compat.go.
+package sizeless

@@ -1,0 +1,93 @@
+package sizeless_test
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"sizeless"
+)
+
+// Example_quickstart is the whole pipeline: generate a training dataset on
+// the simulated platform, train the predictor, and recommend a memory size
+// for a monitored function. (Compile-checked; not executed — the
+// measurement campaign takes a few seconds.)
+func Example_quickstart() {
+	ctx := context.Background()
+
+	ds, err := sizeless.GenerateDataset(ctx,
+		sizeless.WithFunctions(150),
+		sizeless.WithRate(10),
+		sizeless.WithDuration(8*time.Second),
+		sizeless.WithSeed(1),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	pred, err := sizeless.TrainPredictor(ctx, ds,
+		sizeless.WithBase(sizeless.Mem256),
+		sizeless.WithEpochs(250),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// In production the summary comes off real monitoring; here we reuse a
+	// dataset row's base-size summary.
+	summary := ds.Rows[0].Summaries[pred.Base()]
+	rec, err := pred.Recommend(summary, 0.75)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("recommended memory size:", rec.Best)
+}
+
+// Example_adapt is the §5 migration workflow: train on AWS over a grid
+// portable to GCP, fine-tune on a small GCP corpus, and verify the adapted
+// model on held-out GCP functions. (Compile-checked; not executed.)
+func Example_adapt() {
+	ctx := context.Background()
+	aws, gcp := sizeless.AWSLambda(), sizeless.GCPCloudFunctions()
+	portable := sizeless.CommonSizes(aws, gcp)
+
+	awsDS, err := sizeless.GenerateDataset(ctx,
+		sizeless.WithProvider(aws),
+		sizeless.WithSizes(portable...),
+		sizeless.WithFunctions(500),
+		sizeless.WithSeed(1),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pred, err := sizeless.TrainPredictor(ctx, awsDS, sizeless.WithProvider(aws))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Migration: a small corpus measured on the target cloud is enough.
+	gcpDS, err := sizeless.GenerateDataset(ctx,
+		sizeless.WithProvider(gcp),
+		sizeless.WithSizes(pred.Sizes()...),
+		sizeless.WithFunctions(50),
+		sizeless.WithSeed(2),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	adapted, err := pred.Adapt(ctx, gcpDS,
+		sizeless.WithProvider(gcp),
+		sizeless.WithFineTuneEpochs(100),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	metrics, err := adapted.Evaluate(gcpDS)
+	if err != nil {
+		log.Fatal(err)
+	}
+	prov := adapted.Provenance()
+	fmt.Printf("%s→%s adapted, MAPE=%.3f\n", prov.Source, prov.Target, metrics.MAPE)
+}

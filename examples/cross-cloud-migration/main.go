@@ -1,0 +1,143 @@
+// Cross-cloud migration: carry a trained Sizeless model from AWS Lambda to
+// GCP Cloud Functions with the paper's §5 transfer-learning workflow,
+// instead of regenerating the full training corpus on the new cloud.
+//
+// The walkthrough has four steps:
+//
+//  1. Train on AWS — on a *portable* memory grid (sizes deployable on both
+//     clouds, see sizeless.CommonSizes), so the model's prediction targets
+//     exist on the migration target. Save the model file, as an operator
+//     would.
+//  2. Measure a small adaptation corpus on GCP — a fraction of the original
+//     campaign (here 25 functions instead of 120).
+//  3. Adapt — reload the saved model and fine-tune it onto the GCP corpus
+//     with Predictor.Adapt. Early layers stay frozen; the feature scaler is
+//     carried over from AWS.
+//  4. Verify — compare the stale and adapted models on held-out GCP
+//     functions, then recommend a memory size under GCP's tiered pricing.
+//
+// Run with: go run ./examples/cross-cloud-migration
+package main
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"sizeless"
+)
+
+func main() {
+	log.SetFlags(0)
+	ctx := context.Background()
+
+	aws := sizeless.AWSLambda()
+	gcp := sizeless.GCPCloudFunctions()
+
+	// Step 0: a grid both clouds can deploy. For AWS+GCP this is
+	// {128, 256, 512, 1024, 2048} MB.
+	portable := sizeless.CommonSizes(aws, gcp)
+	fmt.Printf("portable memory grid (AWS ∩ GCP): %v\n\n", portable)
+
+	// ---- Step 1: the original AWS training campaign ----
+	fmt.Println("1/4 training on AWS Lambda (120 synthetic functions)...")
+	awsDS, err := sizeless.GenerateDataset(ctx,
+		sizeless.WithProvider(aws),
+		sizeless.WithSizes(portable...),
+		sizeless.WithFunctions(120),
+		sizeless.WithRate(10),
+		sizeless.WithDuration(6*time.Second),
+		sizeless.WithSeed(1),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pred, err := sizeless.TrainPredictor(ctx, awsDS,
+		sizeless.WithProvider(aws),
+		sizeless.WithHidden(64, 64),
+		sizeless.WithEpochs(250),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Operators persist the model; the migration starts from the file.
+	var modelFile bytes.Buffer
+	if err := pred.Save(&modelFile); err != nil {
+		log.Fatal(err)
+	}
+
+	// ---- Step 2: a small measurement campaign on the new cloud ----
+	fmt.Println("2/4 measuring a small adaptation corpus on GCP (25 functions)...")
+	gcpAdapt, err := sizeless.GenerateDataset(ctx,
+		sizeless.WithProvider(gcp),
+		sizeless.WithSizes(portable...),
+		sizeless.WithFunctions(25),
+		sizeless.WithRate(10),
+		sizeless.WithDuration(6*time.Second),
+		sizeless.WithSeed(2),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// ---- Step 3: adapt the saved model to GCP ----
+	fmt.Println("3/4 fine-tuning the AWS model onto the GCP corpus...")
+	loaded, err := sizeless.LoadPredictor(&modelFile, sizeless.WithProvider(aws))
+	if err != nil {
+		log.Fatal(err)
+	}
+	adapted, err := loaded.Adapt(ctx, gcpAdapt,
+		sizeless.WithProvider(gcp),
+		sizeless.WithFineTuneEpochs(120),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	prov := adapted.Provenance()
+	fmt.Printf("    adapted %s→%s: froze %d layers, %d epochs on %d functions\n",
+		prov.Source, prov.Target, prov.FreezeLayers, prov.Epochs, prov.AdaptRows)
+
+	// ---- Step 4: did it work? ----
+	fmt.Println("4/4 evaluating stale vs adapted on held-out GCP functions...")
+	gcpTest, err := sizeless.GenerateDataset(ctx,
+		sizeless.WithProvider(gcp),
+		sizeless.WithSizes(portable...),
+		sizeless.WithFunctions(40),
+		sizeless.WithRate(10),
+		sizeless.WithDuration(6*time.Second),
+		sizeless.WithSeed(3),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	stale, err := loaded.Evaluate(gcpTest)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tuned, err := adapted.Evaluate(gcpTest)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("    stale (AWS model on GCP):  MAPE=%.4f R2=%.4f\n", stale.MAPE, stale.R2)
+	fmt.Printf("    adapted (fine-tuned):      MAPE=%.4f R2=%.4f\n\n", tuned.MAPE, tuned.R2)
+
+	// The adapted predictor recommends under GCP's tiered pricing.
+	summary := gcpTest.Rows[len(gcpTest.Rows)-1].Summaries[adapted.Base()]
+	rec, err := adapted.Recommend(summary, 0.75)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("recommendation for one migrated function on GCP:")
+	for _, o := range rec.Options {
+		marker := "  "
+		if o.Memory == rec.Best {
+			marker = "→ "
+		}
+		fmt.Printf("%s%-8v %9.1fms %11.2f$/1M  S_total=%.3f\n",
+			marker, o.Memory, o.ExecTimeMs, o.Cost*1e6, o.STotal)
+	}
+	fmt.Printf("\nrecommended memory size on %s: %v\n", adapted.Provider().Name(), rec.Best)
+}

@@ -1,0 +1,41 @@
+// Package core implements the paper's primary contribution (§3.4–§3.5
+// support): the multi-target regression model that predicts a serverless
+// function's execution time at every memory size from monitoring data
+// collected at a single base size.
+//
+// # Architecture
+//
+// The package is organized around one type, Model, and the stages of its
+// lifecycle:
+//
+//   - model.go — ModelConfig (base size, prediction grid, feature set,
+//     network hyperparameters) and Train, which extracts the feature matrix
+//     and ratio targets, fits a standardizing scaler, and trains a small
+//     ensemble of networks in parallel. Predict/PredictBatch run the
+//     ensemble, clamp the predicted ratios to a physically plausible band,
+//     and project the per-size times onto the monotone region (more memory
+//     never predicts slower execution).
+//
+//   - evaluate.go — CVMetrics (the Table 3 quality metrics), k-fold
+//     CrossValidate, Evaluate for held-out datasets, and the sequential
+//     forward-selection evaluator behind the Figure 4 experiment.
+//
+//   - finetune.go — FineTune, the paper's §5 transfer-learning proposal:
+//     clone a trained model, freeze its early layers, and retrain the rest
+//     on a small dataset measured on a changed (or different) platform. The
+//     clone keeps the source model's feature scaler so inputs stay on the
+//     source scale, and records a Provenance describing the adaptation.
+//     The public sizeless.Predictor.Adapt wraps this.
+//
+//   - serialize.go — JSON persistence of weights, scaler, feature names,
+//     grid metadata, and (for adapted models) Provenance, so a saved model
+//     file is self-describing.
+//
+//   - gridsearch.go / pdp.go — the Table 2 hyperparameter search and the
+//     Figure 5 partial-dependence analysis.
+//
+// Everything here is provider-agnostic: the model predicts execution-time
+// ratios for whatever memory grid it was trained on, and the caller attaches
+// pricing/platform semantics (see internal/platform and the public sizeless
+// package).
+package core

@@ -15,16 +15,44 @@ import (
 // 2000-function dataset).
 type FineTuneOptions struct {
 	// FreezeLayers freezes this many initial layers. Zero means half the
-	// network (rounded down), the usual transfer-learning split.
+	// network (rounded down), the usual transfer-learning split; negative
+	// means freeze nothing (full warm-start retraining). Freezing every
+	// layer is an error: nothing would adapt.
 	FreezeLayers int
 	// Epochs is the retraining budget (default 100).
 	Epochs int
+	// Source and Target label where the model came from and where it is
+	// being adapted to (typically provider names). They are recorded in the
+	// adapted model's Provenance and serialized with it; empty labels are
+	// fine.
+	Source, Target string
+}
+
+// Provenance records how an adapted model came to be: the transfer-learning
+// settings and the platforms involved. It is serialized alongside the
+// weights so an adapted model file is self-describing.
+type Provenance struct {
+	// FineTuned reports whether the model is the output of FineTune (false
+	// for models trained from scratch).
+	FineTuned bool `json:"fine_tuned"`
+	// FreezeLayers is the number of layers that stayed frozen during
+	// adaptation.
+	FreezeLayers int `json:"freeze_layers"`
+	// Epochs is the adaptation retraining budget.
+	Epochs int `json:"epochs"`
+	// AdaptRows is the size of the adaptation dataset.
+	AdaptRows int `json:"adapt_rows"`
+	// Source and Target are free-form platform labels (usually provider
+	// registry names, e.g. "aws-lambda" → "gcp-cloudfunctions").
+	Source string `json:"source,omitempty"`
+	Target string `json:"target,omitempty"`
 }
 
 // FineTune clones the model and adapts the clone to a (typically much
 // smaller) new dataset: the first layers are frozen, the rest retrain on
 // the new data. The original model is left untouched; the feature scaler is
-// retained from the original so inputs stay on the same scale.
+// retained from the original so inputs stay on the same scale. The clone's
+// Provenance records the adaptation settings.
 func FineTune(ctx context.Context, m *Model, ds *dataset.Dataset, opts FineTuneOptions) (*Model, error) {
 	if len(ds.Rows) == 0 {
 		return nil, errors.New("core: fine-tune dataset is empty")
@@ -43,6 +71,20 @@ func FineTune(ctx context.Context, m *Model, ds *dataset.Dataset, opts FineTuneO
 		return nil, err
 	}
 
+	// Resolve the freeze split once; every ensemble member has the same
+	// depth. Freezing the whole network would leave nothing to adapt.
+	layers := clone.nets[0].LayerCount()
+	freeze := opts.FreezeLayers
+	switch {
+	case freeze == 0:
+		freeze = layers / 2
+	case freeze < 0:
+		freeze = 0
+	}
+	if freeze >= layers {
+		return nil, fmt.Errorf("core: fine-tune: freezing %d of %d layers leaves no trainable layers", freeze, layers)
+	}
+
 	x, err := features.Matrix(ds, clone.cfg.Base, clone.cfg.Features)
 	if err != nil {
 		return nil, fmt.Errorf("core: fine-tune: %w", err)
@@ -57,16 +99,20 @@ func FineTune(ctx context.Context, m *Model, ds *dataset.Dataset, opts FineTuneO
 	}
 
 	for _, net := range clone.nets {
-		freeze := opts.FreezeLayers
-		if freeze <= 0 {
-			freeze = net.LayerCount() / 2
-		}
 		if err := net.SetFrozenLayers(freeze); err != nil {
 			return nil, fmt.Errorf("core: fine-tune: %w", err)
 		}
 		if _, err := net.TrainEpochs(ctx, xs, y, opts.Epochs); err != nil {
 			return nil, fmt.Errorf("core: fine-tune: %w", err)
 		}
+	}
+	clone.prov = Provenance{
+		FineTuned:    true,
+		FreezeLayers: freeze,
+		Epochs:       opts.Epochs,
+		AdaptRows:    len(ds.Rows),
+		Source:       opts.Source,
+		Target:       opts.Target,
 	}
 	return clone, nil
 }

@@ -1,0 +1,162 @@
+package core
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"sizeless/internal/platform"
+)
+
+// tunedBase trains a small source model for the fine-tune edge cases.
+func tunedBase(t *testing.T) *Model {
+	t.Helper()
+	ds := testDataset(t)
+	model, err := Train(context.Background(), ds, smallConfig(platform.Mem256))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return model
+}
+
+func TestFineTuneFreezeBounds(t *testing.T) {
+	model := tunedBase(t)
+	ds := testDataset(t)
+	subset := ds.Subset([]int{0, 1, 2, 3, 4})
+	layers := model.nets[0].LayerCount()
+
+	// Freezing every layer (or more) leaves nothing to adapt.
+	for _, freeze := range []int{layers, layers + 1, layers + 100} {
+		_, err := FineTune(context.Background(), model, subset, FineTuneOptions{FreezeLayers: freeze, Epochs: 5})
+		if err == nil {
+			t.Errorf("freeze=%d of %d layers should error", freeze, layers)
+		} else if !strings.Contains(err.Error(), "no trainable layers") {
+			t.Errorf("freeze=%d: unexpected error %v", freeze, err)
+		}
+	}
+
+	// One short of everything is the maximum legal freeze.
+	tuned, err := FineTune(context.Background(), model, subset, FineTuneOptions{FreezeLayers: layers - 1, Epochs: 5})
+	if err != nil {
+		t.Fatalf("freeze=%d should work: %v", layers-1, err)
+	}
+	if got := tuned.Provenance().FreezeLayers; got != layers-1 {
+		t.Errorf("provenance freeze = %d, want %d", got, layers-1)
+	}
+
+	// Negative means freeze nothing: full warm-start retraining.
+	tuned, err = FineTune(context.Background(), model, subset, FineTuneOptions{FreezeLayers: -1, Epochs: 5})
+	if err != nil {
+		t.Fatalf("freeze=-1 should work: %v", err)
+	}
+	if got := tuned.Provenance().FreezeLayers; got != 0 {
+		t.Errorf("provenance freeze = %d, want 0", got)
+	}
+
+	// Zero defaults to the half split.
+	tuned, err = FineTune(context.Background(), model, subset, FineTuneOptions{Epochs: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tuned.Provenance().FreezeLayers; got != layers/2 {
+		t.Errorf("default freeze = %d, want %d", got, layers/2)
+	}
+}
+
+func TestFineTuneTinyDatasets(t *testing.T) {
+	model := tunedBase(t)
+	ds := testDataset(t)
+
+	// Empty adaptation dataset is rejected up front.
+	empty := ds.Subset(nil)
+	if _, err := FineTune(context.Background(), model, empty, FineTuneOptions{Epochs: 5}); err == nil {
+		t.Error("empty adaptation dataset should error")
+	}
+
+	// A single row is degenerate but legal: the optimizer just overfits it.
+	one := ds.Subset([]int{0})
+	tuned, err := FineTune(context.Background(), model, one, FineTuneOptions{Epochs: 5})
+	if err != nil {
+		t.Fatalf("one-row adaptation should work: %v", err)
+	}
+	if got := tuned.Provenance().AdaptRows; got != 1 {
+		t.Errorf("provenance adapt rows = %d, want 1", got)
+	}
+	if _, err := tuned.Predict(ds.Rows[1].Summaries[platform.Mem256]); err != nil {
+		t.Errorf("one-row-tuned model cannot predict: %v", err)
+	}
+}
+
+func TestFineTuneContextCancellation(t *testing.T) {
+	model := tunedBase(t)
+	ds := testDataset(t)
+	subset := ds.Subset([]int{0, 1, 2, 3, 4, 5, 6, 7})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // cancelled before the first epoch boundary
+	if _, err := FineTune(ctx, model, subset, FineTuneOptions{Epochs: 1000}); err == nil {
+		t.Error("cancelled context should abort fine-tuning")
+	}
+
+	// The original model still works after an aborted adaptation.
+	if _, err := model.Predict(ds.Rows[0].Summaries[platform.Mem256]); err != nil {
+		t.Errorf("source model broken after aborted fine-tune: %v", err)
+	}
+}
+
+func TestFineTunePreservesScalerAndProvenance(t *testing.T) {
+	model := tunedBase(t)
+	ds := testDataset(t)
+	subset := ds.Subset([]int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9})
+
+	tuned, err := FineTune(context.Background(), model, subset, FineTuneOptions{
+		Epochs: 10, Source: "aws-lambda", Target: "gcp-cloudfunctions",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The source scaler is carried over verbatim: inputs stay on the scale
+	// the early (frozen) layers were trained against.
+	if len(tuned.scaler.Mean) != len(model.scaler.Mean) {
+		t.Fatalf("scaler width changed: %d vs %d", len(tuned.scaler.Mean), len(model.scaler.Mean))
+	}
+	for i := range model.scaler.Mean {
+		if tuned.scaler.Mean[i] != model.scaler.Mean[i] || tuned.scaler.Std[i] != model.scaler.Std[i] {
+			t.Fatalf("scaler column %d changed: mean %v→%v std %v→%v", i,
+				model.scaler.Mean[i], tuned.scaler.Mean[i], model.scaler.Std[i], tuned.scaler.Std[i])
+		}
+	}
+
+	// Provenance is stamped and survives a save/load round trip.
+	prov := tuned.Provenance()
+	if !prov.FineTuned || prov.Source != "aws-lambda" || prov.Target != "gcp-cloudfunctions" {
+		t.Errorf("provenance = %+v", prov)
+	}
+	if prov.AdaptRows != 10 || prov.Epochs != 10 {
+		t.Errorf("provenance settings = %+v", prov)
+	}
+	var buf strings.Builder
+	if err := tuned.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadModel(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Provenance() != prov {
+		t.Errorf("provenance lost in round trip: %+v vs %+v", loaded.Provenance(), prov)
+	}
+
+	// A from-scratch model carries no provenance, in memory or on disk.
+	if model.Provenance() != (Provenance{}) {
+		t.Errorf("scratch model has provenance: %+v", model.Provenance())
+	}
+	buf.Reset()
+	if err := model.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "provenance") {
+		t.Error("scratch model file should omit the provenance key")
+	}
+}

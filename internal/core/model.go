@@ -1,8 +1,3 @@
-// Package core implements the paper's primary contribution (§3.4–§3.5
-// support): the multi-target regression model that predicts a serverless
-// function's execution time at every memory size from monitoring data
-// collected at a single base size, plus its training, cross-validation,
-// hyperparameter grid search, and partial-dependence analysis.
 package core
 
 import (
@@ -99,6 +94,7 @@ type Model struct {
 	targets []platform.MemorySize
 	scaler  *nn.Scaler
 	nets    []*nn.Network
+	prov    Provenance
 }
 
 // Train fits a model on the dataset. Cancelling ctx aborts training at
@@ -173,6 +169,10 @@ func Train(ctx context.Context, ds *dataset.Dataset, cfg ModelConfig) (*Model, e
 
 // Config returns the model's configuration.
 func (m *Model) Config() ModelConfig { return m.cfg }
+
+// Provenance reports how the model came to be. The zero value means the
+// model was trained from scratch; FineTune stamps the adaptation settings.
+func (m *Model) Provenance() Provenance { return m.prov }
 
 // Targets returns the predicted memory sizes (grid minus base).
 func (m *Model) Targets() []platform.MemorySize {

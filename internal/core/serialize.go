@@ -20,6 +20,10 @@ type savedModel struct {
 	Scaler       *nn.Scaler `json:"scaler"`
 	// Networks holds one nn-package JSON blob per ensemble member.
 	Networks []json.RawMessage `json:"networks"`
+	// Provenance records transfer-learning lineage for adapted models.
+	// Omitted for models trained from scratch; absent in model files
+	// written before adaptation metadata existed.
+	Provenance *Provenance `json:"provenance,omitempty"`
 }
 
 func saveModel(m *Model, w io.Writer) error {
@@ -27,6 +31,10 @@ func saveModel(m *Model, w io.Writer) error {
 		Base:         int(m.cfg.Base),
 		FeatureNames: features.Names(m.cfg.Features),
 		Scaler:       m.scaler,
+	}
+	if m.prov != (Provenance{}) {
+		prov := m.prov
+		s.Provenance = &prov
 	}
 	for _, net := range m.nets {
 		var netBuf bytes.Buffer
@@ -83,6 +91,9 @@ func LoadModel(r io.Reader) (*Model, error) {
 		},
 		scaler: s.Scaler,
 		nets:   nets,
+	}
+	if s.Provenance != nil {
+		m.prov = *s.Provenance
 	}
 	for _, sz := range s.Sizes {
 		m.cfg.Sizes = append(m.cfg.Sizes, platform.MemorySize(sz))

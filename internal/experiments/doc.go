@@ -1,0 +1,33 @@
+// Package experiments implements one runner per table and figure of the
+// paper's evaluation (plus the ablations listed in DESIGN.md §5). Each
+// runner returns a typed result with a Render method that prints the same
+// rows/series the paper reports; cmd/benchreport strings them into a full
+// reproduction report.
+//
+// # Architecture
+//
+// Runners share a Lab (lab.go), which lazily builds the expensive
+// artifacts — the synthetic training dataset, the per-base-size models,
+// and the case-study measurements — at a configurable Scale, so the full
+// pipeline can run as a quick test ("small"), a medium benchmark, or a
+// paper-scale campaign ("full"). NewLabFor binds a lab to a non-default
+// provider; every measurement, price, and grid then follows that platform.
+//
+// The runners, by file:
+//
+//   - motivating.go — Figure 1, the four cost/performance archetypes.
+//   - stability.go — Figure 3, metric stability over window length.
+//   - modeling.go — Figures 4/5 and Tables 2/3: feature selection,
+//     partial dependence, grid search, cross-validation.
+//   - casestudy.go — Figure 6 and Tables 4–7 on the four applications.
+//   - optimization.go — Figure 7 and Table 8: selection ranking, savings.
+//   - baselines.go — the power-tuning/COSE/BATCH comparison.
+//   - ablations.go — the DESIGN.md §5 ablations (A1–A4).
+//   - transfer.go — extension A5: transfer learning after an in-place
+//     platform upgrade (stale vs fine-tuned vs from-scratch).
+//   - transfermatrix.go — the cross-provider generalization of A5: a
+//     source × target matrix over the built-in providers on their shared
+//     memory grid, reporting prediction quality and recommendation cost
+//     regret per adaptation strategy. This quantifies the §5 claim behind
+//     the public Predictor.Adapt workflow.
+package experiments

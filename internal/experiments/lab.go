@@ -1,12 +1,3 @@
-// Package experiments implements one runner per table and figure of the
-// paper's evaluation (plus the ablations listed in DESIGN.md §5). Each
-// runner returns a typed result with a Render method that prints the same
-// rows/series the paper reports.
-//
-// Runners share a Lab, which lazily builds the expensive artifacts — the
-// synthetic training dataset, the per-base-size models, and the case-study
-// measurements — at a configurable Scale, so the full pipeline can run as
-// a quick test, a medium benchmark, or a paper-scale campaign.
 package experiments
 
 import (

@@ -94,8 +94,11 @@ func parseMemoryValue(s string) (MemorySize, error) {
 }
 
 // ParseMemorySize parses strings like "512" or "512MB" and validates the
-// result against the legacy AWS grid. Use Grid.Parse to validate against a
-// specific provider's grid instead.
+// result against the legacy AWS grid.
+//
+// Deprecated: grid membership is platform-specific; use Grid.Parse to
+// validate against a specific provider's grid instead. ParseMemorySize
+// remains for callers that predate the provider abstraction.
 func ParseMemorySize(s string) (MemorySize, error) {
 	m, err := parseMemoryValue(s)
 	if err != nil {

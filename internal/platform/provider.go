@@ -1,6 +1,9 @@
 package platform
 
-import "time"
+import (
+	"sort"
+	"time"
+)
 
 // Provider is the pluggable description of one FaaS platform: which memory
 // sizes exist (the grid and the default prediction subset), how resources
@@ -53,6 +56,35 @@ func (p ProviderSpec) DefaultSizes() []MemorySize {
 
 // Platform implements Provider.
 func (p ProviderSpec) Platform() Config { return p.Config }
+
+// CommonSizes returns the memory sizes every given provider includes in its
+// default prediction grid, in ascending order — the portable grid a model
+// must be trained on to survive a migration between those providers (its
+// adaptation and evaluation datasets can then be measured on any of them).
+// Returns nil when no provider is given.
+func CommonSizes(ps ...Provider) []MemorySize {
+	if len(ps) == 0 {
+		return nil
+	}
+	counts := make(map[MemorySize]int)
+	for _, p := range ps {
+		seen := make(map[MemorySize]bool)
+		for _, m := range p.DefaultSizes() {
+			if !seen[m] {
+				seen[m] = true
+				counts[m]++
+			}
+		}
+	}
+	var out []MemorySize
+	for m, n := range counts {
+		if n == len(ps) {
+			out = append(out, m)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
 
 // Canonical names of the built-in providers.
 const (

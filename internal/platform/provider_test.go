@@ -275,3 +275,40 @@ func TestProviderDefaultSizesOnGrid(t *testing.T) {
 		}
 	}
 }
+
+func TestCommonSizesIntersection(t *testing.T) {
+	aws, gcp, azure := AWSLambda(), GCPCloudFunctions(), AzureFunctions()
+	got := CommonSizes(aws, gcp, azure)
+	want := []MemorySize{128, 256, 512, 1024}
+	if len(got) != len(want) {
+		t.Fatalf("CommonSizes = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("CommonSizes = %v, want %v", got, want)
+		}
+	}
+	// Every common size is deployable on every provider's grid.
+	for _, p := range []Provider{aws, gcp, azure} {
+		for _, m := range got {
+			if !p.Grid().Valid(m) {
+				t.Errorf("common size %v off %s grid", m, p.Name())
+			}
+		}
+	}
+	// A provider repeating a size in its default grid must not defeat the
+	// intersection count.
+	dup := ProviderSpec{
+		ID:         "dup",
+		MemoryGrid: SteppedGrid(128, 1024, 128),
+		Sizes:      []MemorySize{256, 256, 512},
+	}
+	got = CommonSizes(dup, aws)
+	want = []MemorySize{256, 512}
+	if len(got) != len(want) || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("CommonSizes with duplicates = %v, want %v", got, want)
+	}
+	if CommonSizes() != nil {
+		t.Error("CommonSizes() should be nil")
+	}
+}

@@ -33,6 +33,9 @@ type config struct {
 	ensemble    int
 	tradeoff    float64
 	hasTradeoff bool
+	freeze      int
+	hasFreeze   bool
+	ftEpochs    int
 	minWindow   int
 	drift       monitoring.DriftDetectorConfig
 	hasDrift    bool
@@ -210,6 +213,35 @@ func WithEnsembleSize(n int) Option {
 			return fmt.Errorf("WithEnsembleSize: non-positive size %d", n)
 		}
 		c.ensemble = n
+		return nil
+	}
+}
+
+// WithFreezeLayers sets how many initial network layers Predictor.Adapt
+// keeps frozen while the rest retrain on the adaptation dataset. The
+// default is half the network (rounded down), the usual transfer-learning
+// split; 0 freezes nothing (full warm-start retraining). Freezing every
+// layer is rejected by Adapt — nothing would adapt.
+func WithFreezeLayers(n int) Option {
+	return func(c *config) error {
+		if n < 0 {
+			return fmt.Errorf("WithFreezeLayers: negative layer count %d", n)
+		}
+		c.freeze = n
+		c.hasFreeze = true
+		return nil
+	}
+}
+
+// WithFineTuneEpochs sets Predictor.Adapt's retraining budget (default
+// 100). The adaptation dataset is small, so this is cheap compared to
+// training from scratch.
+func WithFineTuneEpochs(n int) Option {
+	return func(c *config) error {
+		if n <= 0 {
+			return fmt.Errorf("WithFineTuneEpochs: non-positive epochs %d", n)
+		}
+		c.ftEpochs = n
 		return nil
 	}
 }

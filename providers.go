@@ -35,6 +35,13 @@ func GCPCloudFunctions() Provider { return platform.GCPCloudFunctions() }
 // 100 ms minimum charge, single-core CPU ceiling.
 func AzureFunctions() Provider { return platform.AzureFunctions() }
 
+// CommonSizes returns the memory sizes shared by every given provider's
+// default prediction grid, ascending — the portable grid to train on when a
+// model must survive a migration between those clouds (see Predictor.Adapt
+// and examples/cross-cloud-migration). For the three built-ins that is
+// {128, 256, 512, 1024} MB.
+func CommonSizes(ps ...Provider) []MemorySize { return platform.CommonSizes(ps...) }
+
 // RegisterProvider adds a custom provider to the process-wide registry so
 // it becomes selectable by name (e.g. from CLI flags). Registering a nil
 // provider, an empty name, or a duplicate name is an error.

@@ -1,50 +1,3 @@
-// Package sizeless is a faithful, self-contained Go implementation of
-// "Sizeless: Predicting the Optimal Size of Serverless Functions"
-// (Eismann et al., Middleware 2021), generalized from the paper's single
-// AWS-Lambda-like platform to a pluggable multi-cloud Provider model.
-//
-// Sizeless predicts a serverless function's execution time at every memory
-// size from resource-consumption monitoring data collected at a *single*
-// memory size, then recommends the cost/performance-optimal size. Unlike
-// profiling approaches (AWS Lambda Power Tuning, COSE, BATCH), it needs no
-// dedicated performance tests: production monitoring of one deployment is
-// enough.
-//
-// The API is built from three ideas:
-//
-//   - A Provider describes one FaaS platform — memory grid, pricing,
-//     resource scaling, cold starts. AWSLambda (the default),
-//     GCPCloudFunctions, and AzureFunctions ship built in; custom
-//     platforms register a ProviderSpec with RegisterProvider and become
-//     selectable by name. Because pricing and CPU-share curves differ per
-//     cloud, the same workload can earn a different recommendation on each.
-//
-//   - Entry points take a context.Context and functional options, so every
-//     long-running phase is cancellable and reports progress:
-//
-//     ds, _ := sizeless.GenerateDataset(ctx,
-//     sizeless.WithFunctions(500), sizeless.WithSeed(1),
-//     sizeless.WithProvider(sizeless.GCPCloudFunctions()))
-//     pred, _ := sizeless.TrainPredictor(ctx, ds,
-//     sizeless.WithProvider(sizeless.GCPCloudFunctions()))
-//
-//     summary, _ := sizeless.MonitorFunction(ctx, spec)
-//     rec, _ := pred.Recommend(summary, 0.75)
-//
-//   - Batch APIs (Predictor.PredictBatch, Predictor.RecommendBatch, and
-//     Service.RecommendBatch) amortize feature extraction and run the
-//     model's forward passes concurrently — the fleet-scale hot path a
-//     provider-side deployment needs.
-//
-// Everything underneath — the platform simulators, the Node.js-like
-// runtime with the 25 Table-1 metrics, the managed-service simulators, the
-// load generator, the measurement harness, the neural network, and the
-// baselines — lives in internal/ packages and is exercised through this
-// API, the example programs under examples/, and the benchmark harness
-// that regenerates every table and figure of the paper (cmd/benchreport).
-//
-// The pre-options entry points (GenerateDatasetFromConfig and friends)
-// remain as thin deprecated shims over this API.
 package sizeless
 
 import (
@@ -52,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sort"
 
 	"sizeless/internal/core"
 	"sizeless/internal/dataset"
@@ -213,6 +167,90 @@ func (p *Predictor) Save(w io.Writer) error {
 
 // Base returns the memory size the predictor expects monitoring data from.
 func (p *Predictor) Base() MemorySize { return p.model.Config().Base }
+
+// Sizes returns the memory grid the predictor was trained to predict, in
+// ascending order. Adaptation datasets must be measured at exactly these
+// sizes (see Adapt).
+func (p *Predictor) Sizes() []MemorySize {
+	sizes := append([]MemorySize(nil), p.model.Config().Sizes...)
+	sort.Slice(sizes, func(i, j int) bool { return sizes[i] < sizes[j] })
+	return sizes
+}
+
+// Provenance describes how an adapted model came to be: the source and
+// target platforms and the transfer-learning settings. It is persisted
+// inside saved model files, so an adapted model is self-describing.
+type Provenance = core.Provenance
+
+// Provenance reports the predictor's adaptation lineage. The zero value
+// means the model was trained from scratch; Adapt stamps the source and
+// target provider names and the fine-tuning settings.
+func (p *Predictor) Provenance() Provenance { return p.model.Provenance() }
+
+// Adapt is the paper's §5 transfer-learning workflow as a first-class
+// operation: instead of regenerating the full training corpus after a
+// platform change — a provider-side runtime upgrade, or a migration to a
+// different cloud — it fine-tunes the trained model on a small dataset
+// measured on the new platform and returns a new Predictor bound to the
+// target provider. The receiver is left untouched.
+//
+// The target provider comes from WithProvider (default: keep the source
+// provider, which models an in-place platform upgrade). WithFreezeLayers
+// picks the freeze/retrain split (default: half the network) and
+// WithFineTuneEpochs the retraining budget (default 100). The source
+// model's feature scaler is preserved so monitoring summaries stay on the
+// scale the network was trained against.
+//
+// ds must cover the predictor's base size and every size in Sizes(), so a
+// cross-cloud migration needs the model trained on a grid deployable on
+// both clouds — see CommonSizes and examples/cross-cloud-migration.
+// Cancelling ctx aborts adaptation at the next epoch boundary.
+func (p *Predictor) Adapt(ctx context.Context, ds *Dataset, opts ...Option) (*Predictor, error) {
+	cfg, err := resolve(opts)
+	if err != nil {
+		return nil, err
+	}
+	provider := p.provider
+	if cfg.hasProvider {
+		provider = cfg.provider
+	}
+	fo := core.FineTuneOptions{
+		Epochs: cfg.ftEpochs,
+		Source: p.provider.Name(),
+		Target: provider.Name(),
+	}
+	if cfg.hasFreeze {
+		fo.FreezeLayers = cfg.freeze
+		if cfg.freeze == 0 {
+			fo.FreezeLayers = -1 // explicit "freeze nothing"
+		}
+	}
+	model, err := core.FineTune(ctx, p.model, ds, fo)
+	if err != nil {
+		return nil, fmt.Errorf("sizeless: adapt: %w", err)
+	}
+	workers := p.workers
+	if cfg.workers > 0 {
+		workers = cfg.workers
+	}
+	return &Predictor{model: model, provider: provider, workers: workers}, nil
+}
+
+// Metrics bundles the regression-quality numbers of paper Table 3 (MSE,
+// MAPE, R², explained variance) over ratio predictions.
+type Metrics = core.CVMetrics
+
+// Evaluate scores the predictor's ratio predictions against a held-out
+// dataset measured at the predictor's base and target sizes — the quickest
+// way to quantify how much accuracy a platform change cost, and whether an
+// Adapt recovered it.
+func (p *Predictor) Evaluate(ds *Dataset) (Metrics, error) {
+	m, err := core.Evaluate(p.model, ds)
+	if err != nil {
+		return Metrics{}, fmt.Errorf("sizeless: %w", err)
+	}
+	return m, nil
+}
 
 // Provider returns the platform the predictor recommends for.
 func (p *Predictor) Provider() Provider { return p.provider }

@@ -470,3 +470,138 @@ func TestRecommendTradeoffValidation(t *testing.T) {
 		t.Error("tradeoff < 0 should error")
 	}
 }
+
+func TestCommonSizes(t *testing.T) {
+	aws, gcp, azure := sizeless.AWSLambda(), sizeless.GCPCloudFunctions(), sizeless.AzureFunctions()
+	got := sizeless.CommonSizes(aws, gcp, azure)
+	want := []sizeless.MemorySize{128, 256, 512, 1024}
+	if len(got) != len(want) {
+		t.Fatalf("CommonSizes = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("CommonSizes = %v, want %v", got, want)
+		}
+	}
+	// A single provider's common grid is its own default grid.
+	solo := sizeless.CommonSizes(aws)
+	if len(solo) != 6 {
+		t.Errorf("CommonSizes(aws) = %v, want the six paper sizes", solo)
+	}
+	if sizeless.CommonSizes() != nil {
+		t.Error("CommonSizes() should be nil")
+	}
+}
+
+func TestAdaptCrossProvider(t *testing.T) {
+	ctx := context.Background()
+	aws, gcp := sizeless.AWSLambda(), sizeless.GCPCloudFunctions()
+	portable := sizeless.CommonSizes(aws, gcp)
+
+	awsDS, err := sizeless.GenerateDataset(ctx,
+		sizeless.WithProvider(aws),
+		sizeless.WithSizes(portable...),
+		sizeless.WithFunctions(40),
+		sizeless.WithRate(10),
+		sizeless.WithDuration(4*time.Second),
+		sizeless.WithSeed(11),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred, err := sizeless.TrainPredictor(ctx, awsDS,
+		sizeless.WithProvider(aws),
+		sizeless.WithHidden(32, 32),
+		sizeless.WithEpochs(150),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	gcpDS, err := sizeless.GenerateDataset(ctx,
+		sizeless.WithProvider(gcp),
+		sizeless.WithSizes(pred.Sizes()...),
+		sizeless.WithFunctions(15),
+		sizeless.WithRate(10),
+		sizeless.WithDuration(4*time.Second),
+		sizeless.WithSeed(12),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	adapted, err := pred.Adapt(ctx, gcpDS,
+		sizeless.WithProvider(gcp),
+		sizeless.WithFreezeLayers(1),
+		sizeless.WithFineTuneEpochs(60),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The adapted predictor is bound to the target; the source is untouched.
+	if adapted.Provider().Name() != "gcp-cloudfunctions" {
+		t.Errorf("adapted provider = %q", adapted.Provider().Name())
+	}
+	if pred.Provider().Name() != "aws-lambda" {
+		t.Errorf("source provider changed: %q", pred.Provider().Name())
+	}
+	if adapted.Base() != pred.Base() {
+		t.Errorf("base changed: %v vs %v", adapted.Base(), pred.Base())
+	}
+
+	prov := adapted.Provenance()
+	if !prov.FineTuned || prov.Source != "aws-lambda" || prov.Target != "gcp-cloudfunctions" {
+		t.Errorf("provenance = %+v", prov)
+	}
+	if prov.FreezeLayers != 1 || prov.Epochs != 60 || prov.AdaptRows != 15 {
+		t.Errorf("provenance settings = %+v", prov)
+	}
+	if pred.Provenance() != (sizeless.Provenance{}) {
+		t.Errorf("source predictor gained provenance: %+v", pred.Provenance())
+	}
+
+	// Provenance survives Save/Load, and the loaded model still predicts.
+	var buf bytes.Buffer
+	if err := adapted.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := sizeless.LoadPredictor(&buf, sizeless.WithProvider(gcp))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Provenance() != prov {
+		t.Errorf("provenance lost: %+v vs %+v", loaded.Provenance(), prov)
+	}
+	sum := gcpDS.Rows[0].Summaries[loaded.Base()]
+	if _, err := loaded.Recommend(sum, 0.75); err != nil {
+		t.Errorf("adapted model cannot recommend: %v", err)
+	}
+
+	// Evaluate works on datasets covering the predictor's grid.
+	if _, err := adapted.Evaluate(gcpDS); err != nil {
+		t.Errorf("evaluate: %v", err)
+	}
+
+	// Adapting with every layer frozen is rejected.
+	if _, err := pred.Adapt(ctx, gcpDS, sizeless.WithFreezeLayers(99)); err == nil {
+		t.Error("freezing more layers than the network has should error")
+	}
+	// Cancelled context aborts adaptation.
+	cancelled, cancel := context.WithCancel(ctx)
+	cancel()
+	if _, err := pred.Adapt(cancelled, gcpDS, sizeless.WithFineTuneEpochs(500)); err == nil {
+		t.Error("cancelled context should abort Adapt")
+	}
+}
+
+func TestAdaptOptionValidation(t *testing.T) {
+	pred := quickPredictor(t)
+	ds := quickDataset(t)
+	if _, err := pred.Adapt(context.Background(), ds, sizeless.WithFreezeLayers(-1)); err == nil {
+		t.Error("negative freeze should error")
+	}
+	if _, err := pred.Adapt(context.Background(), ds, sizeless.WithFineTuneEpochs(0)); err == nil {
+		t.Error("zero fine-tune epochs should error")
+	}
+}
