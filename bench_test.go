@@ -14,6 +14,7 @@ package sizeless_test
 import (
 	"context"
 	"io"
+	"sort"
 	"sync"
 	"testing"
 	"time"
@@ -21,6 +22,7 @@ import (
 	"sizeless/internal/core"
 	"sizeless/internal/dataset"
 	"sizeless/internal/experiments"
+	"sizeless/internal/fleetsynth"
 	"sizeless/internal/harness"
 	"sizeless/internal/lambda"
 	"sizeless/internal/loadgen"
@@ -28,6 +30,7 @@ import (
 	"sizeless/internal/nn"
 	"sizeless/internal/optimizer"
 	"sizeless/internal/platform"
+	"sizeless/internal/recommender"
 	"sizeless/internal/runtime"
 	"sizeless/internal/services"
 	"sizeless/internal/stats"
@@ -422,6 +425,151 @@ func BenchmarkPredictBatch(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := model.PredictBatch(ctx, sums, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- Fleet-scale ingestion benchmarks ----
+
+const (
+	benchFleetSize   = 1000
+	benchFleetWindow = 100
+)
+
+// benchIngestBatch times one IngestBatch of a fresh benchFleetSize-function
+// fleet: every function crosses MinWindow, so each one runs summarization,
+// prediction, and optimization.
+func benchIngestBatch(b *testing.B, shards, workers int) {
+	l := lab(b)
+	model, err := l.Model(platform.Mem256)
+	if err != nil {
+		b.Fatal(err)
+	}
+	batch := fleetsynth.Batch(benchFleetSize, benchFleetWindow, 99, 1)
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		svc, err := recommender.New(model, recommender.Config{
+			MinWindow: benchFleetWindow, Shards: shards, Workers: workers,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := svc.IngestBatch(ctx, batch); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(benchFleetSize)*float64(b.N)/secs, "fns/s")
+	}
+}
+
+// BenchmarkIngestBatch is the sharded concurrent fleet-ingest hot path
+// (default shards, worker pool at GOMAXPROCS).
+func BenchmarkIngestBatch(b *testing.B) { benchIngestBatch(b, 0, 0) }
+
+// BenchmarkIngestBatchOneShard runs the same pipeline restricted to one
+// shard and one worker — isolates what sharding + the worker pool buy on
+// top of the per-function improvements (nothing on a single-core host;
+// roughly core-count on real fleet hardware).
+func BenchmarkIngestBatchOneShard(b *testing.B) { benchIngestBatch(b, 1, 1) }
+
+// BenchmarkIngestBatchSequential reproduces the seed's sequential ingestion
+// pipeline, kept here as the measured baseline the concurrent engine is
+// scored against in BENCH_ingest.json: functions walked one by one under a
+// single coarse lock, every window copied into per-function buffers, and
+// each summary reduced metric-by-metric through 25 gather-and-reduce passes
+// (the seed's monitoring.Summarize). Prediction and optimization use the
+// current (pooled) implementations, so the measured speedup *understates*
+// the true improvement over the seed.
+func BenchmarkIngestBatchSequential(b *testing.B) {
+	l := lab(b)
+	model, err := l.Model(platform.Mem256)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pricing := platform.DefaultPricing()
+	batch := fleetsynth.Batch(benchFleetSize, benchFleetWindow, 99, 1)
+	ids := make([]string, 0, len(batch))
+	for id := range batch {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var mu sync.Mutex
+		pending := make(map[string][]monitoring.Invocation, len(ids))
+		for _, id := range ids {
+			mu.Lock()
+			pending[id] = append(pending[id], batch[id]...)
+			sum := seedSummarize(pending[id])
+			times, err := model.Predict(sum)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := optimizer.Optimize(times, pricing, 0.75); err != nil {
+				b.Fatal(err)
+			}
+			mu.Unlock()
+		}
+	}
+	b.StopTimer()
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(benchFleetSize)*float64(b.N)/secs, "fns/s")
+	}
+}
+
+// seedSummarize is the seed's per-metric summarization, preserved verbatim
+// for the baseline benchmark: one gather plus three stats-package reduce
+// passes per metric.
+func seedSummarize(invs []monitoring.Invocation) monitoring.Summary {
+	var sum monitoring.Summary
+	sum.N = len(invs)
+	samples := make([]float64, len(invs))
+	for id := 0; id < monitoring.NumMetrics; id++ {
+		for i, inv := range invs {
+			samples[i] = inv.Metrics[monitoring.MetricID(id)]
+		}
+		sum.Mean[id] = stats.Mean(samples)
+		sum.Std[id] = stats.StdDev(samples)
+		sum.CoV[id] = stats.CoV(samples)
+	}
+	for _, inv := range invs {
+		if inv.ColdStart {
+			sum.ColdStarts++
+		}
+	}
+	return sum
+}
+
+// BenchmarkFleetDrift times a full drift sweep: a 1k-function fleet with
+// established baselines ingests a uniformly shifted window, so every
+// function runs the drift detector and a recomputation.
+func BenchmarkFleetDrift(b *testing.B) {
+	l := lab(b)
+	model, err := l.Model(platform.Mem256)
+	if err != nil {
+		b.Fatal(err)
+	}
+	baseline := fleetsynth.Batch(benchFleetSize, benchFleetWindow, 7, 1)
+	shifted := fleetsynth.Batch(benchFleetSize, benchFleetWindow, 8, 3)
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		svc, err := recommender.New(model, recommender.Config{MinWindow: benchFleetWindow})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := svc.IngestBatch(ctx, baseline); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if _, err := svc.IngestBatch(ctx, shifted); err != nil {
 			b.Fatal(err)
 		}
 	}

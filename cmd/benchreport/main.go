@@ -10,12 +10,17 @@
 //
 // Experiment ids: fig1 fig3 fig4 fig5 table2 table3 fig6 table4-7 fig7
 // table8 baselines ablation-targets ablation-features ablation-increments
-// transfer transfer-matrix.
+// transfer transfer-matrix ingest-scale.
 //
 // "transfer-matrix" goes beyond the paper: it trains a model per built-in
 // provider and scores every source→target pair under the stale, fine-tuned
 // (Predictor.Adapt), and from-scratch strategies — the cross-provider
 // portability quantification of the §5 adaptation workflow.
+//
+// "ingest-scale" measures the concurrent ingestion engine: synthetic-fleet
+// IngestBatch throughput across fleet size × shards × workers, reported as
+// a table with speedups over the single-shard single-worker baseline (the
+// trajectory behind BENCH_ingest.json).
 package main
 
 import (
@@ -88,6 +93,9 @@ func runners() []experimentRunner {
 		}},
 		{"transfer-matrix", func(lab *experiments.Lab) (renderable, error) {
 			return experiments.TransferMatrix(lab)
+		}},
+		{"ingest-scale", func(lab *experiments.Lab) (renderable, error) {
+			return experiments.IngestScale(lab)
 		}},
 	}
 }

@@ -76,6 +76,33 @@
 // adapted model file. examples/cross-cloud-migration walks an AWS-trained
 // model through GCP adaptation end to end.
 //
+// # The concurrency model
+//
+// The continuous recommender (Predictor.NewService) is built for
+// fleet-scale concurrent ingestion. Per-function tracking state is
+// partitioned across WithShards independently locked shards (default 32,
+// FNV-1a hash of the function ID), and Service.IngestBatch fans a batch of
+// monitoring windows out over a WithWorkers pool, so drift detection and
+// recomputation run in parallel across functions. Every exported Service
+// method is safe to call concurrently with every other.
+//
+// Ingestion commits atomically per function: on any error — including
+// context cancellation observed before a triggered recomputation — the
+// function keeps exactly its prior state, never a half-ingested window.
+// Cancelling IngestBatch's context is the backpressure mechanism: workers
+// stop picking up new functions and the call returns what was committed.
+// Ingest and IngestBatch take ownership of the invocation slices they are
+// handed (the hot path adopts them without copying); callers must not
+// modify them afterwards.
+//
+// The prediction hot paths (Predict, PredictBatch, RecommendBatch, and the
+// service's recompute) share a pooled feature-extraction and forward-pass
+// layer (sync.Pool-backed matrices and scratch), so batch prediction does
+// not allocate a fresh matrix per call. BENCH_ingest.json records the
+// measured fleet-ingest throughput of this engine against the seed's
+// sequential pipeline; the "ingest-scale" experiment in cmd/benchreport
+// regenerates the scaling table.
+//
 // Everything underneath — the platform simulators, the Node.js-like
 // runtime with the 25 Table-1 metrics, the managed-service simulators, the
 // load generator, the measurement harness, the neural network, and the

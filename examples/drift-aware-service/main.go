@@ -7,6 +7,11 @@
 // + Cliff's delta on the model's six base metrics) fires and the
 // recommendation is recomputed from the new window.
 //
+// The service here runs in its fleet configuration: per-function state
+// sharded across 8 locks (WithShards) and batch ingestion fanned out over
+// 4 workers (WithWorkers) — phase 3 pushes a whole fleet of replicas
+// through one concurrent IngestBatch call.
+//
 // Run with: go run ./examples/drift-aware-service
 package main
 
@@ -74,7 +79,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	svc, err := pred.NewService(sizeless.WithMinWindow(150))
+	svc, err := pred.NewService(
+		sizeless.WithMinWindow(150),
+		sizeless.WithShards(8),
+		sizeless.WithWorkers(4),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -114,6 +123,23 @@ func main() {
 	}
 	fmt.Printf("  recommendation refreshed: %v (recomputations: %d)\n",
 		st.Recommendation.Best, st.Recomputations)
+
+	// Phase 3: fleet mode — a batch of per-region replicas of the same
+	// service lands in one concurrent IngestBatch call. Each replica is
+	// tracked (and recommended) independently under its own shard lock.
+	fmt.Println("\nphase 3: fleet mode — 6 regional replicas, one concurrent IngestBatch...")
+	batch := make(map[string][]sizeless.Invocation, 6)
+	for _, region := range []string{"us-east-1", "us-west-2", "eu-west-1", "eu-central-1", "ap-south-1", "ap-northeast-1"} {
+		batch["search-service@"+region] = steady[:150]
+	}
+	statuses, err := svc.IngestBatch(ctx, batch)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, region := range []string{"us-east-1", "eu-west-1", "ap-south-1"} {
+		st := statuses["search-service@"+region]
+		fmt.Printf("  %-28s → %v\n", "search-service@"+region, st.Recommendation.Best)
+	}
 
 	sum := svc.Summarize()
 	fmt.Printf("\nfleet: %d function(s), %d recommended, %d drift-triggered refreshes\n",

@@ -1,11 +1,16 @@
 // Production-monitoring scenario: validate a Sizeless recommendation
-// against ground truth.
+// against ground truth, then keep watching.
 //
 // A developer runs an order-processing function at the default memory size.
 // Sizeless predicts all other sizes from that single deployment's
 // monitoring data; this example then *actually measures* every size on the
 // simulated platform and compares — the paper's RQ1/RQ2 evaluation in
 // miniature for one function.
+//
+// The closing section switches from one-shot validation to the production
+// posture: a sharded continuous service (WithShards/WithWorkers) ingests
+// live monitoring windows for the function's deployment stages through one
+// concurrent IngestBatch call.
 //
 // Run with: go run ./examples/production-monitoring
 package main
@@ -18,8 +23,13 @@ import (
 	"time"
 
 	"sizeless"
+	"sizeless/internal/lambda"
+	"sizeless/internal/loadgen"
+	"sizeless/internal/monitoring"
+	"sizeless/internal/runtime"
 	"sizeless/internal/services"
 	"sizeless/internal/workload"
+	"sizeless/internal/xrand"
 )
 
 func main() {
@@ -111,4 +121,60 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("recommended size from one monitored deployment: %v\n", rec.Best)
+
+	// Continuous posture: wrap the predictor in the sharded fleet service
+	// and ingest live windows for the function's deployment stages — the
+	// way this recommendation would actually be kept fresh in production.
+	fmt.Println("\ncontinuous monitoring: ingesting live windows for 3 deployment stages...")
+	svc, err := pred.NewService(
+		sizeless.WithMinWindow(150),
+		sizeless.WithShards(8),
+		sizeless.WithWorkers(4),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	trace, err := collectTrace(orderProcessor, 21)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(trace) < 450 {
+		log.Fatalf("trace too short: %d invocations", len(trace))
+	}
+	batch := map[string][]sizeless.Invocation{
+		"order-processor@prod":    trace[:150],
+		"order-processor@staging": trace[150:300],
+		"order-processor@canary":  trace[300:450],
+	}
+	statuses, err := svc.IngestBatch(ctx, batch)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, stage := range []string{"prod", "staging", "canary"} {
+		st := statuses["order-processor@"+stage]
+		fmt.Printf("  %-24s observed %3d invocations → %v\n",
+			"order-processor@"+stage, st.Observed, st.Recommendation.Best)
+	}
+	sum := svc.Summarize()
+	fmt.Printf("fleet: %d tracked, %d recommended (drift-triggered refreshes so far: %d)\n",
+		sum.Functions, sum.WithRecommend, sum.Recomputations)
+}
+
+// collectTrace runs the spec at the predictor's base size and returns the
+// raw per-invocation monitoring records a production agent would ship.
+func collectTrace(spec *workload.Spec, seed int64) ([]sizeless.Invocation, error) {
+	env := runtime.NewEnv()
+	store := monitoring.NewMemoryStore()
+	dep, err := lambda.NewDeployment(env, spec, sizeless.Mem256, store, xrand.New(seed).Derive("dep"))
+	if err != nil {
+		return nil, err
+	}
+	sched, err := loadgen.Poisson(20, 30*time.Second, xrand.New(seed).Derive("sched"))
+	if err != nil {
+		return nil, err
+	}
+	if _, err := dep.Run(sched); err != nil {
+		return nil, err
+	}
+	return store.Invocations(spec.Name), nil
 }

@@ -95,6 +95,48 @@ type Model struct {
 	scaler  *nn.Scaler
 	nets    []*nn.Network
 	prov    Provenance
+	// extractor is the pooled feature-extraction path shared by every
+	// prediction entry point; its sync.Pool recycles feature matrices
+	// across batch calls, so concurrent callers never contend on buffers.
+	extractor *features.Extractor
+	// sortedSizes is the grid in ascending order, precomputed so the
+	// per-prediction isotonic projection stops sorting on every call.
+	sortedSizes []platform.MemorySize
+	// predictPool recycles forward-pass scratch for single predictions —
+	// the recommender's recompute path calls Predict once per function
+	// under concurrent ingestion.
+	predictPool sync.Pool // stores *predictBuf
+}
+
+// predictBuf is one reusable set of single-prediction buffers. The whole
+// ensemble shares one network shape, so one scratch serves every member.
+type predictBuf struct {
+	scratch nn.Scratch
+	ratios  []float64
+}
+
+// initDerived populates the computed fields shared by every construction
+// path (Train, LoadModel, and FineTune's clone-via-LoadModel).
+func (m *Model) initDerived() error {
+	extractor, err := features.NewExtractor(m.cfg.Features)
+	if err != nil {
+		return err
+	}
+	m.extractor = extractor
+	m.sortedSizes = append([]platform.MemorySize(nil), m.cfg.Sizes...)
+	sort.Slice(m.sortedSizes, func(i, j int) bool { return m.sortedSizes[i] < m.sortedSizes[j] })
+	return nil
+}
+
+// getPredictBuf borrows single-prediction scratch from the pool.
+func (m *Model) getPredictBuf() *predictBuf {
+	if pb, ok := m.predictPool.Get().(*predictBuf); ok {
+		return pb
+	}
+	return &predictBuf{
+		scratch: m.nets[0].NewScratch(),
+		ratios:  make([]float64, len(m.targets)),
+	}
 }
 
 // Train fits a model on the dataset. Cancelling ctx aborts training at
@@ -164,7 +206,11 @@ func Train(ctx context.Context, ds *dataset.Dataset, cfg ModelConfig) (*Model, e
 			return nil, fmt.Errorf("core: %w", err)
 		}
 	}
-	return &Model{cfg: cfg, targets: targets, scaler: scaler, nets: nets}, nil
+	m := &Model{cfg: cfg, targets: targets, scaler: scaler, nets: nets}
+	if err := m.initDerived(); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	return m, nil
 }
 
 // Config returns the model's configuration.
@@ -183,11 +229,10 @@ func (m *Model) Targets() []platform.MemorySize {
 // base-size monitoring summary. Predictions are floored at a small positive
 // value: a ratio of zero or below is physically impossible.
 func (m *Model) PredictRatios(s monitoring.Summary) ([]float64, error) {
-	vec := make([]float64, len(m.cfg.Features))
-	for j, f := range m.cfg.Features {
-		vec[j] = f.Extract(s)
-	}
-	return m.predictVector(vec)
+	rows, release := m.extractor.Borrow(1)
+	defer release()
+	features.ExtractInto(rows[0], m.cfg.Features, s)
+	return m.predictVector(rows[0])
 }
 
 // predictVector scales a raw feature vector, runs the network, and clamps
@@ -203,32 +248,15 @@ func (m *Model) predictVector(vec []float64) ([]float64, error) {
 }
 
 // ratiosFromScaled runs the ensemble on an already-scaled feature vector
-// and returns the clamped mean ratios. Read-only over the model: safe for
-// concurrent use.
+// and returns the clamped mean ratios in a fresh slice. Read-only over the
+// model: safe for concurrent use.
 func (m *Model) ratiosFromScaled(scaled []float64) ([]float64, error) {
-	ratios := make([]float64, len(m.targets))
-	for _, net := range m.nets {
-		p, err := net.Predict(scaled)
-		if err != nil {
-			return nil, fmt.Errorf("core: %w", err)
-		}
-		for i, v := range p {
-			ratios[i] += v
-		}
+	pb := m.getPredictBuf()
+	defer m.predictPool.Put(pb)
+	if err := m.ratiosFromScaledInto(scaled, pb.scratch, pb.ratios); err != nil {
+		return nil, err
 	}
-	for i := range ratios {
-		ratios[i] /= float64(len(m.nets))
-	}
-	const minRatio, maxRatio = 0.02, 50.0
-	for i, r := range ratios {
-		if r < minRatio {
-			ratios[i] = minRatio
-		}
-		if r > maxRatio {
-			ratios[i] = maxRatio
-		}
-	}
-	return ratios, nil
+	return append([]float64(nil), pb.ratios...), nil
 }
 
 // ratiosFromScaledInto is the allocation-free variant of ratiosFromScaled:
@@ -269,16 +297,28 @@ func (m *Model) ratiosFromScaledInto(scaled []float64, scratch nn.Scratch, ratio
 // memory, execution time cannot increase with memory, so any inversion in
 // the raw network output is flattened (isotonic projection in size order,
 // anchored at the monitored base value).
+//
+// Predict runs on pooled extraction and forward-pass buffers (the result
+// map is the only allocation besides bookkeeping), so it is cheap enough
+// for a continuous recommender to call once per drifted function, and safe
+// to call from many goroutines at once.
 func (m *Model) Predict(s monitoring.Summary) (map[platform.MemorySize]float64, error) {
 	baseMs := s.Mean[monitoring.ExecutionTime]
 	if baseMs <= 0 {
 		return nil, errors.New("core: summary has non-positive execution time")
 	}
-	ratios, err := m.PredictRatios(s)
-	if err != nil {
+	rows, release := m.extractor.Borrow(1)
+	defer release()
+	features.ExtractInto(rows[0], m.cfg.Features, s)
+	if err := m.scaler.TransformInPlace(rows[:1]); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	pb := m.getPredictBuf()
+	defer m.predictPool.Put(pb)
+	if err := m.ratiosFromScaledInto(rows[0], pb.scratch, pb.ratios); err != nil {
 		return nil, err
 	}
-	return m.timesFromRatios(baseMs, ratios), nil
+	return m.timesFromRatios(baseMs, pb.ratios), nil
 }
 
 // timesFromRatios assembles the per-size execution-time map from the base
@@ -289,7 +329,7 @@ func (m *Model) timesFromRatios(baseMs float64, ratios []float64) map[platform.M
 	for i, mem := range m.targets {
 		out[mem] = ratios[i] * baseMs
 	}
-	enforceMonotone(out, m.cfg.Sizes)
+	enforceMonotone(out, m.sortedSizes)
 	return out
 }
 
@@ -308,22 +348,20 @@ func (m *Model) PredictBatch(ctx context.Context, sums []monitoring.Summary, wor
 	if len(sums) == 0 {
 		return nil, nil
 	}
-	// Amortized feature extraction: one raw matrix, one scaling pass.
-	raw := make([][]float64, len(sums))
+	// Amortized feature extraction into a pooled matrix, scaled in place:
+	// repeated batch calls recycle the same storage instead of allocating a
+	// fresh matrix per call.
+	scaled, release := m.extractor.Borrow(len(sums))
+	defer release()
 	baseMs := make([]float64, len(sums))
 	for i, s := range sums {
 		baseMs[i] = s.Mean[monitoring.ExecutionTime]
 		if baseMs[i] <= 0 {
 			return nil, fmt.Errorf("core: summary %d has non-positive execution time", i)
 		}
-		vec := make([]float64, len(m.cfg.Features))
-		for j, f := range m.cfg.Features {
-			vec[j] = f.Extract(s)
-		}
-		raw[i] = vec
+		features.ExtractInto(scaled[i], m.cfg.Features, s)
 	}
-	scaled, err := m.scaler.TransformBatch(raw)
-	if err != nil {
+	if err := m.scaler.TransformInPlace(scaled); err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
 
@@ -379,13 +417,13 @@ func (m *Model) PredictBatch(ctx context.Context, sums []monitoring.Summary, wor
 	return out, nil
 }
 
-// enforceMonotone flattens inversions: traversing sizes in ascending order,
-// each prediction is capped by its predecessor's value.
-func enforceMonotone(times map[platform.MemorySize]float64, sizes []platform.MemorySize) {
-	ordered := append([]platform.MemorySize(nil), sizes...)
-	sort.Slice(ordered, func(i, j int) bool { return ordered[i] < ordered[j] })
+// enforceMonotone flattens inversions: traversing the already-ascending
+// sizes, each prediction is capped by its predecessor's value. Callers pass
+// a pre-sorted grid (Model.sortedSizes) so the per-prediction hot path does
+// not sort.
+func enforceMonotone(times map[platform.MemorySize]float64, ascending []platform.MemorySize) {
 	prev := math.Inf(1)
-	for _, m := range ordered {
+	for _, m := range ascending {
 		t, ok := times[m]
 		if !ok {
 			continue

@@ -104,5 +104,8 @@ func LoadModel(r io.Reader) (*Model, error) {
 	if len(m.targets) == 0 {
 		return nil, fmt.Errorf("core: load: no target sizes")
 	}
+	if err := m.initDerived(); err != nil {
+		return nil, fmt.Errorf("core: load: %w", err)
+	}
 	return m, nil
 }

@@ -10,6 +10,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"strconv"
 
@@ -177,8 +178,31 @@ func (d *Dataset) WriteCSV(w io.Writer) error {
 	return cw.Error()
 }
 
+// MaxMemoryMB bounds the memory sizes ReadCSV accepts: 1 TB comfortably
+// covers every FaaS platform while rejecting garbage (or hostile) CSV input
+// before it becomes a grid entry.
+const MaxMemoryMB = 1 << 20
+
+// parseFinite parses a float and rejects NaN and ±Inf — a dataset cell
+// holding a non-finite statistic can only be corruption, and letting it
+// through would poison the scaler and every downstream prediction.
+func parseFinite(s string) (float64, error) {
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, err
+	}
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0, fmt.Errorf("non-finite value %q", s)
+	}
+	return v, nil
+}
+
 // ReadCSV parses a dataset previously written with WriteCSV. The size grid
-// is inferred from the data.
+// is inferred from the data. Malformed input — wrong or reordered header
+// columns, rows with the wrong field count, NaN/Inf cells, non-positive or
+// absurd memory sizes, negative counts, duplicate (function, size)
+// measurements — is rejected with an error; ReadCSV never panics on bad
+// input (fuzzed by FuzzReadDatasetCSV).
 func ReadCSV(r io.Reader) (*Dataset, error) {
 	cr := csv.NewReader(r)
 	header, err := cr.Read()
@@ -188,6 +212,11 @@ func ReadCSV(r io.Reader) (*Dataset, error) {
 	want := csvHeader()
 	if len(header) != len(want) {
 		return nil, fmt.Errorf("dataset: header has %d columns, want %d", len(header), len(want))
+	}
+	for i := range header {
+		if header[i] != want[i] {
+			return nil, fmt.Errorf("dataset: header column %d is %q, want %q", i, header[i], want[i])
+		}
 	}
 
 	rowsByID := make(map[string]*Row)
@@ -202,9 +231,15 @@ func ReadCSV(r io.Reader) (*Dataset, error) {
 			return nil, fmt.Errorf("dataset: read record: %w", err)
 		}
 		id, hash := rec[0], rec[1]
+		if id == "" {
+			return nil, errors.New("dataset: empty function ID")
+		}
 		memInt, err := strconv.Atoi(rec[2])
 		if err != nil {
 			return nil, fmt.Errorf("dataset: bad memory %q: %w", rec[2], err)
+		}
+		if memInt <= 0 || memInt > MaxMemoryMB {
+			return nil, fmt.Errorf("dataset: memory size %d outside (0, %d] MB", memInt, MaxMemoryMB)
 		}
 		m := platform.MemorySize(memInt)
 		sizeSet[m] = true
@@ -216,21 +251,24 @@ func ReadCSV(r io.Reader) (*Dataset, error) {
 		if s.ColdStarts, err = strconv.Atoi(rec[4]); err != nil {
 			return nil, fmt.Errorf("dataset: bad cold-start count: %w", err)
 		}
+		if s.N < 0 || s.ColdStarts < 0 {
+			return nil, fmt.Errorf("dataset: negative count in row %q", id)
+		}
 		base := 5
 		for i := 0; i < monitoring.NumMetrics; i++ {
-			if s.Mean[i], err = strconv.ParseFloat(rec[base+i], 64); err != nil {
+			if s.Mean[i], err = parseFinite(rec[base+i]); err != nil {
 				return nil, fmt.Errorf("dataset: bad mean: %w", err)
 			}
 		}
 		base += monitoring.NumMetrics
 		for i := 0; i < monitoring.NumMetrics; i++ {
-			if s.Std[i], err = strconv.ParseFloat(rec[base+i], 64); err != nil {
+			if s.Std[i], err = parseFinite(rec[base+i]); err != nil {
 				return nil, fmt.Errorf("dataset: bad std: %w", err)
 			}
 		}
 		base += monitoring.NumMetrics
 		for i := 0; i < monitoring.NumMetrics; i++ {
-			if s.CoV[i], err = strconv.ParseFloat(rec[base+i], 64); err != nil {
+			if s.CoV[i], err = parseFinite(rec[base+i]); err != nil {
 				return nil, fmt.Errorf("dataset: bad cov: %w", err)
 			}
 		}
@@ -240,6 +278,9 @@ func ReadCSV(r io.Reader) (*Dataset, error) {
 			row = &Row{FunctionID: id, Hash: hash, Summaries: make(map[platform.MemorySize]monitoring.Summary)}
 			rowsByID[id] = row
 			order = append(order, id)
+		}
+		if _, dup := row.Summaries[m]; dup {
+			return nil, fmt.Errorf("dataset: duplicate measurement for %q at %v", id, m)
 		}
 		row.Summaries[m] = s
 	}

@@ -1,0 +1,131 @@
+package dataset
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"sizeless/internal/monitoring"
+	"sizeless/internal/platform"
+)
+
+// fuzzSeedDataset fabricates a tiny but fully valid dataset — the same
+// shape the measurement harness produces — so the fuzzer starts from the
+// CSV writer's real output instead of random bytes.
+func fuzzSeedDataset() *Dataset {
+	sizes := []platform.MemorySize{platform.Mem128, platform.Mem256}
+	ds := New(sizes)
+	for fi, id := range []string{"fn-alpha", "fn-beta"} {
+		row := Row{FunctionID: id, Hash: "hash", Summaries: make(map[platform.MemorySize]monitoring.Summary)}
+		for si, m := range sizes {
+			var s monitoring.Summary
+			s.N = 100 + fi
+			s.ColdStarts = si
+			for i := 0; i < monitoring.NumMetrics; i++ {
+				s.Mean[i] = float64(1+i) * 1.5 * float64(1+si)
+				s.Std[i] = float64(i) * 0.25
+				s.CoV[i] = 0.1 * float64(1+i%3)
+			}
+			row.Summaries[m] = s
+		}
+		ds.Rows = append(ds.Rows, row)
+	}
+	return ds
+}
+
+// FuzzReadDatasetCSV checks ReadCSV never panics, and that any input it
+// accepts is internally consistent: full grid coverage, finite statistics,
+// sane sizes, and a lossless round trip through WriteCSV.
+func FuzzReadDatasetCSV(f *testing.F) {
+	var buf bytes.Buffer
+	if err := fuzzSeedDataset().WriteCSV(&buf); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.String()
+	f.Add([]byte(valid))
+	f.Add([]byte(""))
+	f.Add([]byte("function,hash\nfn,x\n"))
+	// Corrupted variants of the writer's output: NaN and Inf cells, a
+	// negative and an absurd memory size, a truncated row.
+	f.Add([]byte(strings.Replace(valid, "1.5", "NaN", 1)))
+	f.Add([]byte(strings.Replace(valid, "1.5", "+Inf", 1)))
+	f.Add([]byte(strings.Replace(valid, ",128,", ",-128,", 1)))
+	f.Add([]byte(strings.Replace(valid, ",128,", ",99999999,", 1)))
+	if i := strings.LastIndexByte(strings.TrimRight(valid, "\n"), '\n'); i > 0 {
+		f.Add([]byte(valid[:i+30]))
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ds, err := ReadCSV(bytes.NewReader(data))
+		if err != nil {
+			return // rejected input is fine; panicking is not
+		}
+		if err := ds.Validate(); err != nil {
+			t.Fatalf("accepted dataset fails validation: %v", err)
+		}
+		for _, m := range ds.Sizes {
+			if m <= 0 || m > MaxMemoryMB {
+				t.Fatalf("accepted out-of-range memory size %v", m)
+			}
+		}
+		for _, row := range ds.Rows {
+			if row.FunctionID == "" {
+				t.Fatal("accepted row with empty function ID")
+			}
+			for m, s := range row.Summaries {
+				if s.N < 0 || s.ColdStarts < 0 {
+					t.Fatalf("accepted negative count in %q at %v", row.FunctionID, m)
+				}
+				for i := 0; i < monitoring.NumMetrics; i++ {
+					for _, v := range []float64{s.Mean[i], s.Std[i], s.CoV[i]} {
+						if math.IsNaN(v) || math.IsInf(v, 0) {
+							t.Fatalf("accepted non-finite statistic in %q at %v", row.FunctionID, m)
+						}
+					}
+				}
+			}
+		}
+		// Round trip: what was accepted must serialize and re-parse to the
+		// same shape.
+		var out bytes.Buffer
+		if err := ds.WriteCSV(&out); err != nil {
+			t.Fatalf("rewriting accepted dataset: %v", err)
+		}
+		again, err := ReadCSV(bytes.NewReader(out.Bytes()))
+		if err != nil {
+			t.Fatalf("re-reading rewritten dataset: %v", err)
+		}
+		if len(again.Rows) != len(ds.Rows) || len(again.Sizes) != len(ds.Sizes) {
+			t.Fatalf("round trip changed shape: %d×%d → %d×%d rows×sizes",
+				len(ds.Rows), len(ds.Sizes), len(again.Rows), len(again.Sizes))
+		}
+	})
+}
+
+// TestReadCSVRejectsCorruption pins the hardening rules the fuzzer relies
+// on, so a regression fails fast in the normal test run too.
+func TestReadCSVRejectsCorruption(t *testing.T) {
+	var buf bytes.Buffer
+	if err := fuzzSeedDataset().WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	valid := buf.String()
+	if _, err := ReadCSV(strings.NewReader(valid)); err != nil {
+		t.Fatalf("writer output must parse: %v", err)
+	}
+	lines := strings.SplitN(valid, "\n", 2)
+	cases := map[string]string{
+		"NaN cell":        strings.Replace(valid, "1.5", "NaN", 1),
+		"Inf cell":        strings.Replace(valid, "1.5", "Inf", 1),
+		"negative memory": strings.Replace(valid, ",128,", ",-128,", 1),
+		"huge memory":     strings.Replace(valid, ",128,", ",99999999,", 1),
+		"renamed header":  strings.Replace(valid, "mean_executionTime", "mean_execTime", 1),
+		"duplicate row":   valid + strings.SplitN(lines[1], "\n", 2)[0] + "\n",
+	}
+	for name, input := range cases {
+		if _, err := ReadCSV(strings.NewReader(input)); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}

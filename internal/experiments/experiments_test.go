@@ -19,6 +19,11 @@ var (
 
 func sharedLab(t *testing.T) *Lab {
 	t.Helper()
+	if testing.Short() {
+		// Lab-based tests run full measurement campaigns and model
+		// training; far too slow under -short (the CI race job).
+		t.Skip("lab experiments skipped in short mode")
+	}
 	labOnce.Do(func() {
 		scale := SmallScale()
 		testLab = NewLab(scale)

@@ -1,0 +1,128 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"time"
+
+	"sizeless/internal/fleetsynth"
+	"sizeless/internal/platform"
+	"sizeless/internal/recommender"
+)
+
+// IngestScaleRow is one measured cell of the fleet-ingestion scaling table:
+// a synthetic fleet of Fleet functions pushed through Service.IngestBatch
+// with a given shard/worker configuration.
+type IngestScaleRow struct {
+	Fleet   int
+	Shards  int
+	Workers int // 0 = GOMAXPROCS
+	// Elapsed is the wall time of one full-fleet IngestBatch in which
+	// every function crosses MinWindow (summarize + predict + optimize).
+	Elapsed time.Duration
+	// Throughput is functions ingested per second.
+	Throughput float64
+	// Speedup is Throughput relative to the single-shard single-worker
+	// row of the same fleet size.
+	Speedup float64
+}
+
+// IngestScaleResult is the ingest-scale experiment output: the
+// fleet-size × shards × workers throughput table of the concurrent
+// ingestion engine.
+type IngestScaleResult struct {
+	MinWindow int
+	Rows      []IngestScaleRow
+}
+
+// Render prints the throughput table.
+func (r *IngestScaleResult) Render() string {
+	t := newTable("fleet", "shards", "workers", "elapsed", "fns/s", "speedup")
+	for _, row := range r.Rows {
+		workers := fmt.Sprintf("%d", row.Workers)
+		if row.Workers == 0 {
+			workers = fmt.Sprintf("%d (GOMAXPROCS)", runtime.GOMAXPROCS(0))
+		}
+		t.addRow(
+			fmt.Sprintf("%d", row.Fleet),
+			fmt.Sprintf("%d", row.Shards),
+			workers,
+			row.Elapsed.Round(time.Millisecond).String(),
+			fmt.Sprintf("%.0f", row.Throughput),
+			fmt.Sprintf("%.2fx", row.Speedup),
+		)
+	}
+	return "Fleet-scale concurrent ingestion (window " +
+		fmt.Sprintf("%d", r.MinWindow) + " invocations/function; speedup vs 1 shard × 1 worker):\n\n" +
+		t.String()
+}
+
+// IngestScale measures Service.IngestBatch throughput across fleet sizes
+// and shard/worker configurations — the scaling story of the concurrent
+// ingestion engine (benchreport id "ingest-scale"). Fleet sizes derive from
+// the lab scale so the small scale stays test-fast.
+func IngestScale(l *Lab) (*IngestScaleResult, error) {
+	base := platform.Nearest(platform.Mem256, l.Sizes())
+	model, err := l.Model(base)
+	if err != nil {
+		return nil, err
+	}
+	const window = 100
+	fleets := []int{l.Scale.TrainFunctions, 4 * l.Scale.TrainFunctions}
+	configs := []struct{ shards, workers int }{
+		{1, 1},  // the sequential baseline: one lock, one worker
+		{8, 2},  // modest sharding
+		{32, 0}, // the defaults: 32 shards, GOMAXPROCS workers
+	}
+	res := &IngestScaleResult{MinWindow: window}
+	ctx := context.Background()
+	for _, fleet := range fleets {
+		batch := fleetsynth.Batch(fleet, window, l.Scale.Seed+17, 1)
+		var baseline float64
+		for _, cfg := range configs {
+			newService := func() (*recommender.Service, error) {
+				return recommender.New(model, recommender.Config{
+					MinWindow: window,
+					Shards:    cfg.shards,
+					Workers:   cfg.workers,
+				})
+			}
+			// One untimed warmup ingest per configuration: the first batch
+			// against a fresh model pays sync.Pool cold-start and
+			// first-touch costs that would otherwise be billed entirely to
+			// whichever cell runs first (the baseline).
+			warm, err := newService()
+			if err != nil {
+				return nil, fmt.Errorf("experiments: ingest-scale: %w", err)
+			}
+			if _, err := warm.IngestBatch(ctx, batch); err != nil {
+				return nil, fmt.Errorf("experiments: ingest-scale: %w", err)
+			}
+			svc, err := newService()
+			if err != nil {
+				return nil, fmt.Errorf("experiments: ingest-scale: %w", err)
+			}
+			start := time.Now()
+			if _, err := svc.IngestBatch(ctx, batch); err != nil {
+				return nil, fmt.Errorf("experiments: ingest-scale: %w", err)
+			}
+			elapsed := time.Since(start)
+			row := IngestScaleRow{
+				Fleet:      fleet,
+				Shards:     cfg.shards,
+				Workers:    cfg.workers,
+				Elapsed:    elapsed,
+				Throughput: float64(fleet) / elapsed.Seconds(),
+			}
+			if cfg.shards == 1 && cfg.workers == 1 {
+				baseline = row.Throughput
+			}
+			if baseline > 0 {
+				row.Speedup = row.Throughput / baseline
+			}
+			res.Rows = append(res.Rows, row)
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,36 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestIngestScale(t *testing.T) {
+	lab := sharedLab(t)
+	res, err := IngestScale(lab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two fleet sizes × three configurations.
+	if len(res.Rows) != 6 {
+		t.Fatalf("got %d rows, want 6", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.Throughput <= 0 {
+			t.Errorf("fleet %d shards %d: non-positive throughput %v", row.Fleet, row.Shards, row.Throughput)
+		}
+		if row.Speedup <= 0 {
+			t.Errorf("fleet %d shards %d: missing speedup", row.Fleet, row.Shards)
+		}
+	}
+	// The baseline rows are pinned at 1.00x by construction.
+	if res.Rows[0].Shards != 1 || res.Rows[0].Speedup != 1 {
+		t.Errorf("first row should be the 1-shard baseline at 1x, got %+v", res.Rows[0])
+	}
+	out := res.Render()
+	for _, want := range []string{"fleet", "shards", "workers", "fns/s", "speedup", "1.00x"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -181,21 +181,24 @@ func Names(feats []Feature) []string {
 // ErrMissingBase is returned when a row lacks the base-size summary.
 var ErrMissingBase = errors.New("features: row missing base memory size")
 
-// Matrix extracts the feature matrix of ds at the base memory size.
+// Matrix extracts the feature matrix of ds at the base memory size. The
+// rows share one flat backing array (a single allocation, cache-friendly);
+// callers own the result. Batch hot paths that extract repeatedly should
+// use an Extractor instead, which recycles this storage through a
+// sync.Pool.
 func Matrix(ds *dataset.Dataset, base platform.MemorySize, feats []Feature) ([][]float64, error) {
 	if len(feats) == 0 {
 		return nil, errors.New("features: empty feature set")
 	}
+	flat := make([]float64, len(ds.Rows)*len(feats))
 	x := make([][]float64, len(ds.Rows))
 	for i, row := range ds.Rows {
 		s, ok := row.Summaries[base]
 		if !ok {
 			return nil, fmt.Errorf("%w: row %q, base %v", ErrMissingBase, row.FunctionID, base)
 		}
-		vec := make([]float64, len(feats))
-		for j, f := range feats {
-			vec[j] = f.Extract(s)
-		}
+		vec := flat[i*len(feats) : (i+1)*len(feats) : (i+1)*len(feats)]
+		ExtractInto(vec, feats, s)
 		x[i] = vec
 	}
 	return x, nil

@@ -1,0 +1,41 @@
+// Package fleetsynth fabricates synthetic monitoring windows for
+// fleet-scale tests, benchmarks, and the ingest-scale experiment: cheap,
+// deterministic lognormal metric vectors so those harnesses time the
+// ingest pipeline (summarize → drift → predict → optimize) rather than the
+// platform simulator. One definition keeps the bench, the concurrency
+// suite, and benchreport measuring the same workload shape.
+package fleetsynth
+
+import (
+	"fmt"
+
+	"sizeless/internal/monitoring"
+	"sizeless/internal/xrand"
+)
+
+// Window fabricates n invocations whose metrics are lognormal around
+// 10·scale (and a positive execution time around 150·scale ms) — enough
+// distributional texture for summary statistics and the drift detector.
+// Scaling a window by ≥2-3× versus another reliably reads as drift.
+func Window(rng *xrand.Stream, n int, scale float64) []monitoring.Invocation {
+	invs := make([]monitoring.Invocation, n)
+	for i := range invs {
+		for id := 0; id < monitoring.NumMetrics; id++ {
+			invs[i].Metrics[id] = rng.LogNormal(10*scale, 0.2)
+		}
+		invs[i].Metrics[monitoring.ExecutionTime] = rng.LogNormal(150*scale, 0.15)
+	}
+	return invs
+}
+
+// Batch fabricates one window per function for a synthetic fleet, keyed
+// "fleet-fn-%04d". Identical (nFns, window, seed, scale) arguments yield
+// identical batches.
+func Batch(nFns, window int, seed int64, scale float64) map[string][]monitoring.Invocation {
+	rng := xrand.New(seed)
+	batch := make(map[string][]monitoring.Invocation, nFns)
+	for i := 0; i < nFns; i++ {
+		batch[fmt.Sprintf("fleet-fn-%04d", i)] = Window(rng.DeriveIndexed("fn", i), window, scale)
+	}
+	return batch
+}

@@ -2,9 +2,8 @@ package monitoring
 
 import (
 	"errors"
+	"math"
 	"time"
-
-	"sizeless/internal/stats"
 )
 
 // Summary aggregates many invocations of one function at one memory size
@@ -30,25 +29,44 @@ func (s Summary) MeanExecutionTime() time.Duration {
 // ErrNoSamples is returned when summarizing zero invocations.
 var ErrNoSamples = errors.New("monitoring: no samples to summarize")
 
-// Summarize aggregates invocations into a Summary.
+// Summarize aggregates invocations into a Summary. It is the per-window
+// hot path of continuous fleet ingestion, so all 25 metrics are reduced in
+// two invocation-major passes (sums, then squared deviations) instead of 25
+// per-metric gather-and-reduce loops — same accumulation order per metric
+// as the stats-package formulas (mean = Σx/n, std = √(Σ(x-mean)²/(n-1)),
+// CoV = std/mean with 0 for a zero mean), an order of magnitude fewer
+// memory passes, and no per-call allocation.
 func Summarize(invs []Invocation) (Summary, error) {
 	if len(invs) == 0 {
 		return Summary{}, ErrNoSamples
 	}
 	var sum Summary
 	sum.N = len(invs)
-	samples := make([]float64, len(invs))
-	for id := 0; id < NumMetrics; id++ {
-		for i, inv := range invs {
-			samples[i] = inv.Metrics[MetricID(id)]
-		}
-		sum.Mean[id] = stats.Mean(samples)
-		sum.Std[id] = stats.StdDev(samples)
-		sum.CoV[id] = stats.CoV(samples)
-	}
-	for _, inv := range invs {
-		if inv.ColdStart {
+	n := float64(len(invs))
+	for i := range invs {
+		sum.Mean.Add(&invs[i].Metrics)
+		if invs[i].ColdStart {
 			sum.ColdStarts++
+		}
+	}
+	for id := 0; id < NumMetrics; id++ {
+		sum.Mean[id] /= n
+	}
+	if sum.N > 1 {
+		var ss Vector
+		for i := range invs {
+			for id := 0; id < NumMetrics; id++ {
+				d := invs[i].Metrics[id] - sum.Mean[id]
+				ss[id] += d * d
+			}
+		}
+		for id := 0; id < NumMetrics; id++ {
+			sum.Std[id] = math.Sqrt(ss[id] / (n - 1))
+		}
+	}
+	for id := 0; id < NumMetrics; id++ {
+		if sum.Mean[id] != 0 {
+			sum.CoV[id] = sum.Std[id] / sum.Mean[id]
 		}
 	}
 	return sum, nil

@@ -76,6 +76,22 @@ func (s *Scaler) TransformBatch(x [][]float64) ([][]float64, error) {
 	return out, nil
 }
 
+// TransformInPlace standardizes a matrix in place, avoiding the per-row
+// allocations of TransformBatch — the batch-prediction hot path, where the
+// rows live in pooled buffers that would otherwise be copied just to be
+// discarded.
+func (s *Scaler) TransformInPlace(x [][]float64) error {
+	for _, row := range x {
+		if len(row) != len(s.Mean) {
+			return fmt.Errorf("nn: row has %d columns, scaler expects %d", len(row), len(s.Mean))
+		}
+		for j, v := range row {
+			row[j] = (v - s.Mean[j]) / s.Std[j]
+		}
+	}
+	return nil
+}
+
 // Inverse undoes the standardization of a row.
 func (s *Scaler) Inverse(row []float64) ([]float64, error) {
 	if len(row) != len(s.Mean) {

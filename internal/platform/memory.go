@@ -26,6 +26,8 @@ package platform
 import (
 	"fmt"
 	"sort"
+	"strconv"
+	"strings"
 )
 
 // MemorySize is a Lambda memory configuration in MB.
@@ -79,13 +81,16 @@ func (m MemorySize) Valid() bool {
 func (m MemorySize) String() string { return fmt.Sprintf("%dMB", int(m)) }
 
 // parseMemoryValue parses "512" or "512MB" into a size without any grid
-// validation.
+// validation. The whole string must be consumed: trailing garbage after
+// the number or unit ("512MBx", "5 12") is rejected rather than silently
+// truncated (fuzzed by FuzzParseMemorySize).
 func parseMemoryValue(s string) (MemorySize, error) {
-	var v int
-	if _, err := fmt.Sscanf(s, "%dMB", &v); err != nil {
-		if _, err := fmt.Sscanf(s, "%d", &v); err != nil {
-			return 0, fmt.Errorf("platform: cannot parse memory size %q", s)
-		}
+	t := strings.TrimSpace(s)
+	t = strings.TrimSuffix(t, "MB")
+	t = strings.TrimSpace(t)
+	v, err := strconv.Atoi(t)
+	if err != nil {
+		return 0, fmt.Errorf("platform: cannot parse memory size %q", s)
 	}
 	if v <= 0 {
 		return 0, fmt.Errorf("platform: non-positive memory size %d", v)

@@ -8,14 +8,32 @@
 // initial recommendation once enough data accumulated, and afterwards only
 // re-recommends when the workload's resource profile actually drifts —
 // avoiding recommendation churn on noisy but stationary traffic.
+//
+// # Concurrency model
+//
+// The service is built for fleet-scale concurrent ingestion. Per-function
+// state is partitioned across Config.Shards independently locked shards
+// (FNV-1a hash of the function ID), so ingests for different functions
+// almost never contend; ingests for the same function serialize on its
+// shard. IngestBatch fans the batch out over a bounded worker pool
+// (Config.Workers). Every exported method — Ingest, IngestBatch, Status,
+// Fleet, Summarize, RecommendBatch — is safe to call concurrently with
+// every other.
+//
+// An ingest commits atomically: either the window is fully absorbed (and
+// any triggered recomputation applied), or — on error, including context
+// cancellation observed before a recomputation — the function's state is
+// exactly what it was before the call.
 package recommender
 
 import (
 	"context"
 	"errors"
 	"fmt"
+	goruntime "runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"sizeless/internal/core"
 	"sizeless/internal/monitoring"
@@ -42,6 +60,11 @@ type Config struct {
 	Pricing platform.Pricer
 	// Workers bounds batch-API parallelism (0 = GOMAXPROCS).
 	Workers int
+	// Shards is the number of independently locked shards per-function
+	// state is partitioned across (default 32). More shards mean less
+	// lock contention under concurrent ingestion; one shard restores the
+	// old single-lock behaviour.
+	Shards int
 }
 
 func (c Config) withDefaults() Config {
@@ -53,6 +76,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Pricing == nil {
 		c.Pricing = platform.DefaultPricing()
+	}
+	if c.Shards <= 0 {
+		c.Shards = 32
 	}
 	return c
 }
@@ -80,16 +106,29 @@ type functionState struct {
 	status   Status
 	baseline []monitoring.Invocation // window behind the current recommendation
 	pending  []monitoring.Invocation // window accumulating since then
+	// pendingOwned marks pending as service-owned storage. A whole window
+	// adopted zero-copy from the caller is not owned and must never be
+	// written through; accumulation copies it into owned storage first.
+	pendingOwned bool
 }
 
-// Service is the continuous recommender. Safe for concurrent use.
-type Service struct {
-	cfg   Config
-	model *core.Model
+// shard is one independently locked partition of the fleet.
+type shard struct {
+	mu  sync.Mutex
+	fns map[string]*functionState
+}
 
-	mu    sync.Mutex
-	fns   map[string]*functionState
-	order []string
+// Service is the continuous recommender. Safe for concurrent use; see the
+// package comment for the sharding and atomicity guarantees.
+type Service struct {
+	cfg    Config
+	model  *core.Model
+	shards []shard
+
+	// orderMu guards the first-seen ordering used by Fleet. Lock order:
+	// a shard's mu may be held when taking orderMu, never the reverse.
+	orderMu sync.Mutex
+	order   []string
 }
 
 // New creates a Service over a trained model. Ingested windows must be
@@ -98,15 +137,40 @@ func New(model *core.Model, cfg Config) (*Service, error) {
 	if model == nil {
 		return nil, errors.New("recommender: nil model")
 	}
-	return &Service{
-		cfg:   cfg.withDefaults(),
-		model: model,
-		fns:   make(map[string]*functionState),
-	}, nil
+	cfg = cfg.withDefaults()
+	s := &Service{
+		cfg:    cfg,
+		model:  model,
+		shards: make([]shard, cfg.Shards),
+	}
+	for i := range s.shards {
+		s.shards[i].fns = make(map[string]*functionState)
+	}
+	return s, nil
 }
 
 // Base returns the memory size ingested windows must be monitored at.
 func (s *Service) Base() platform.MemorySize { return s.model.Config().Base }
+
+// NumShards returns the number of state shards the fleet is partitioned
+// across.
+func (s *Service) NumShards() int { return len(s.shards) }
+
+// shardIndex maps a function ID onto its shard with a 32-bit FNV-1a hash —
+// deterministic across processes, so an operator can reason about which
+// shard a function lands on.
+func (s *Service) shardIndex(functionID string) int {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(functionID); i++ {
+		h ^= uint32(functionID[i])
+		h *= prime32
+	}
+	return int(h % uint32(len(s.shards)))
+}
 
 // Ingest feeds a batch of monitored invocations for one function and
 // returns the function's (possibly updated) status.
@@ -118,60 +182,122 @@ func (s *Service) Base() platform.MemorySize { return s.model.Config().Base }
 //     against the baseline window with the drift detector; only a detected
 //     shift triggers a recomputation (on the new window), which then
 //     becomes the baseline.
+//
+// Ingest takes ownership of invs: the hot path adopts the caller's slice
+// without copying, so the caller must not modify it after the call. It is
+// never written through by the service, so the same backing data may be
+// ingested for several functions.
+//
+// Ingest is atomic per function: on any error — including ctx cancellation
+// observed before a triggered recomputation — the function's tracked state
+// is left exactly as it was, so a cut-off recompute never commits a
+// half-updated window.
 func (s *Service) Ingest(ctx context.Context, functionID string, invs []monitoring.Invocation) (Status, error) {
 	if functionID == "" {
 		return Status{}, errors.New("recommender: empty function ID")
 	}
-	if ctx != nil {
-		if err := ctx.Err(); err != nil {
-			return Status{}, fmt.Errorf("recommender: %w", err)
-		}
+	if ctx == nil {
+		ctx = context.Background()
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	if err := ctx.Err(); err != nil {
+		return Status{}, fmt.Errorf("recommender: %w", err)
+	}
+	sh := &s.shards[s.shardIndex(functionID)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
 
-	st, ok := s.fns[functionID]
+	st, ok := sh.fns[functionID]
+	created := false
 	if !ok {
 		st = &functionState{status: Status{FunctionID: functionID}}
-		s.fns[functionID] = st
-		s.order = append(s.order, functionID)
+		sh.fns[functionID] = st
+		created = true
 	}
+	prevObserved := st.status.Observed
+	prevPending := st.pending
+	prevOwned := st.pendingOwned
 	st.status.Observed += len(invs)
-	st.pending = append(st.pending, invs...)
-
-	if !st.status.HasRecommendation {
-		if len(st.pending) < s.cfg.MinWindow {
-			return st.status, nil
-		}
-		if err := s.recompute(st, nil); err != nil {
-			return Status{}, err
-		}
-		return st.status, nil
+	switch {
+	case len(invs) == 0:
+		// Nothing to buffer.
+	case len(st.pending) == 0:
+		// Zero-copy fast path: adopt the caller's window. The common
+		// fleet case delivers whole windows, which are consumed (or
+		// discarded) before anything is ever appended to them.
+		st.pending = invs
+		st.pendingOwned = false
+	case !st.pendingOwned:
+		// Accumulating onto an adopted window: copy it into
+		// service-owned storage first so the caller's data is never
+		// written through.
+		buf := make([]monitoring.Invocation, 0, len(st.pending)+len(invs))
+		buf = append(buf, st.pending...)
+		buf = append(buf, invs...)
+		st.pending = buf
+		st.pendingOwned = true
+	default:
+		st.pending = append(st.pending, invs...)
 	}
 
-	// Recommendation exists: check for drift once a full window pends.
-	if len(st.pending) < s.cfg.MinWindow {
-		return st.status, nil
-	}
-	report, err := monitoring.DetectDrift(st.baseline, st.pending, s.cfg.Drift)
-	if err != nil {
-		return Status{}, fmt.Errorf("recommender: %s: %w", functionID, err)
-	}
-	if !report.Drifted() {
-		// Stationary: discard the pending window, keep the baseline.
-		st.pending = st.pending[:0]
-		return st.status, nil
-	}
-	if err := s.recompute(st, report.Shifted); err != nil {
+	if err := s.advanceLocked(ctx, st); err != nil {
+		// Roll back: an ingest commits completely or not at all. The
+		// saved slice header restores the pre-call window (appends only
+		// wrote past its length, or into fresh storage), and a function
+		// created by this very call is removed again so no empty record
+		// leaks into the fleet.
+		st.status.Observed = prevObserved
+		st.pending = prevPending
+		st.pendingOwned = prevOwned
+		if created {
+			delete(sh.fns, functionID)
+		}
 		return Status{}, err
 	}
-	st.status.Recomputations++
+	if created {
+		s.orderMu.Lock()
+		s.order = append(s.order, functionID)
+		s.orderMu.Unlock()
+	}
 	return st.status, nil
 }
 
-// recompute refreshes the recommendation from st.pending and promotes it to
-// the new baseline. Caller holds the lock.
-func (s *Service) recompute(st *functionState, shifted []monitoring.MetricShift) error {
+// advanceLocked runs the buffered→recommend→drift state machine for one
+// function. The caller holds the function's shard lock and rolls the state
+// back on error.
+func (s *Service) advanceLocked(ctx context.Context, st *functionState) error {
+	if len(st.pending) < s.cfg.MinWindow {
+		return nil
+	}
+	if !st.status.HasRecommendation {
+		return s.recomputeLocked(ctx, st, nil)
+	}
+	report, err := monitoring.DetectDrift(st.baseline, st.pending, s.cfg.Drift)
+	if err != nil {
+		return fmt.Errorf("recommender: %s: %w", st.status.FunctionID, err)
+	}
+	if !report.Drifted() {
+		// Stationary: discard the pending window, keep the baseline. (An
+		// empty pending always re-enters through the zero-copy adopt
+		// branch, so there is no point keeping owned storage around.)
+		st.pending = nil
+		st.pendingOwned = false
+		return nil
+	}
+	if err := s.recomputeLocked(ctx, st, report.Shifted); err != nil {
+		return err
+	}
+	st.status.Recomputations++
+	return nil
+}
+
+// recomputeLocked refreshes the recommendation from st.pending and promotes
+// it to the new baseline. The caller holds the shard lock. All mutations
+// happen after the last fallible step, so a failed (or cancelled)
+// recomputation leaves the state untouched for the caller's rollback.
+func (s *Service) recomputeLocked(ctx context.Context, st *functionState, shifted []monitoring.MetricShift) error {
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("recommender: %s: recompute cancelled: %w", st.status.FunctionID, err)
+	}
 	summary, err := monitoring.Summarize(st.pending)
 	if err != nil {
 		return fmt.Errorf("recommender: %s: %w", st.status.FunctionID, err)
@@ -189,14 +315,16 @@ func (s *Service) recompute(st *functionState, shifted []monitoring.MetricShift)
 	st.status.LastDrift = shifted
 	st.baseline = st.pending
 	st.pending = nil
+	st.pendingOwned = false
 	return nil
 }
 
 // Status returns the tracked state of one function.
 func (s *Service) Status(functionID string) (Status, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	st, ok := s.fns[functionID]
+	sh := &s.shards[s.shardIndex(functionID)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	st, ok := sh.fns[functionID]
 	if !ok {
 		return Status{}, fmt.Errorf("recommender: unknown function %q", functionID)
 	}
@@ -205,11 +333,17 @@ func (s *Service) Status(functionID string) (Status, error) {
 
 // Fleet returns the status of every tracked function, in first-seen order.
 func (s *Service) Fleet() []Status {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	out := make([]Status, 0, len(s.order))
-	for _, id := range s.order {
-		out = append(out, s.fns[id].status)
+	s.orderMu.Lock()
+	ids := append([]string(nil), s.order...)
+	s.orderMu.Unlock()
+	out := make([]Status, 0, len(ids))
+	for _, id := range ids {
+		sh := &s.shards[s.shardIndex(id)]
+		sh.mu.Lock()
+		if st, ok := sh.fns[id]; ok {
+			out = append(out, st.status)
+		}
+		sh.mu.Unlock()
 	}
 	return out
 }
@@ -222,36 +356,42 @@ type FleetSummary struct {
 	Recomputations    int
 }
 
-// Summarize reduces the fleet to headline numbers.
+// Summarize reduces the fleet to headline numbers, locking one shard at a
+// time so a fleet-wide summary never stalls concurrent ingestion for long.
 func (s *Service) Summarize() FleetSummary {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	var out FleetSummary
-	out.Functions = len(s.fns)
 	base := s.model.Config().Base
-	ids := make([]string, 0, len(s.fns))
-	for id := range s.fns {
-		ids = append(ids, id)
-	}
-	sort.Strings(ids)
-	for _, id := range ids {
-		st := s.fns[id]
-		if st.status.HasRecommendation {
-			out.WithRecommend++
-			if st.status.Recommendation.Best != base {
-				out.OffBaseSelections++
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		out.Functions += len(sh.fns)
+		for _, st := range sh.fns {
+			if st.status.HasRecommendation {
+				out.WithRecommend++
+				if st.status.Recommendation.Best != base {
+					out.OffBaseSelections++
+				}
 			}
+			out.Recomputations += st.status.Recomputations
 		}
-		out.Recomputations += st.status.Recomputations
+		sh.mu.Unlock()
 	}
 	return out
 }
 
-// IngestBatch feeds monitoring windows for many functions and returns the
-// per-function statuses. Functions are processed in sorted-ID order so the
-// result does not depend on map iteration; cancelling ctx stops between
-// functions and returns what has been processed so far along with the
-// context's error.
+// IngestBatch feeds monitoring windows for many functions concurrently —
+// the fleet-scale hot path. Functions fan out over a worker pool bounded by
+// Config.Workers (0 = GOMAXPROCS); each function's ingest runs under its
+// own shard lock, so the drift detector and any recomputation execute in
+// parallel across functions.
+//
+// The returned map holds the status of every successfully ingested
+// function. A per-function error does not stop the rest of the batch; the
+// error for the first function (in sorted-ID order) that failed is
+// returned. Cancelling ctx applies backpressure: workers stop picking up
+// new functions, already-ingested functions keep their committed state, and
+// functions whose recompute was cut off are rolled back — the batch then
+// returns what was processed along with the context's error.
 func (s *Service) IngestBatch(ctx context.Context, batch map[string][]monitoring.Invocation) (map[string]Status, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -262,24 +402,73 @@ func (s *Service) IngestBatch(ctx context.Context, batch map[string][]monitoring
 	}
 	sort.Strings(ids)
 	out := make(map[string]Status, len(ids))
-	for _, id := range ids {
+	if len(ids) == 0 {
 		if err := ctx.Err(); err != nil {
 			return out, fmt.Errorf("recommender: batch ingest cancelled: %w", err)
 		}
-		st, err := s.Ingest(ctx, id, batch[id])
-		if err != nil {
-			return out, err
+		return out, nil
+	}
+
+	workers := s.cfg.Workers
+	if workers <= 0 {
+		workers = goruntime.GOMAXPROCS(0)
+	}
+	if workers > len(ids) {
+		workers = len(ids)
+	}
+
+	var (
+		mu          sync.Mutex
+		firstErr    error
+		firstErrIdx = len(ids)
+		next        atomic.Int64
+		wg          sync.WaitGroup
+	)
+	fail := func(i int, err error) {
+		mu.Lock()
+		if i < firstErrIdx {
+			firstErr, firstErrIdx = err, i
 		}
-		out[id] = st
+		mu.Unlock()
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(ids) {
+					return
+				}
+				if err := ctx.Err(); err != nil {
+					fail(i, fmt.Errorf("recommender: batch ingest cancelled: %w", err))
+					return
+				}
+				id := ids[i]
+				st, err := s.Ingest(ctx, id, batch[id])
+				if err != nil {
+					fail(i, err)
+					continue
+				}
+				mu.Lock()
+				out[id] = st
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return out, firstErr
 	}
 	return out, nil
 }
 
 // RecommendBatch is the stateless fleet-scale path: it scores many
 // monitoring summaries (all collected at the service's base size) in one
-// shot, amortizing feature extraction and running the model's forward
-// passes concurrently. Results align positionally with summaries. Unlike
-// Ingest it does not touch per-function tracking state.
+// shot, amortizing feature extraction through the model's pooled buffers
+// and running the forward passes concurrently. Results align positionally
+// with summaries. Unlike Ingest it does not touch per-function tracking
+// state.
 func (s *Service) RecommendBatch(ctx context.Context, summaries []monitoring.Summary) ([]optimizer.Recommendation, error) {
 	times, err := s.model.PredictBatch(ctx, summaries, s.cfg.Workers)
 	if err != nil {

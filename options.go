@@ -37,6 +37,7 @@ type config struct {
 	hasFreeze   bool
 	ftEpochs    int
 	minWindow   int
+	shards      int
 	drift       monitoring.DriftDetectorConfig
 	hasDrift    bool
 	progress    func(done, total int)
@@ -267,6 +268,21 @@ func WithMinWindow(n int) Option {
 			return fmt.Errorf("WithMinWindow: non-positive window %d", n)
 		}
 		c.minWindow = n
+		return nil
+	}
+}
+
+// WithShards sets how many independently locked shards the recommendation
+// service partitions per-function state across (default 32). Ingestion for
+// functions on different shards proceeds fully in parallel; one shard
+// restores a single global lock. Shard assignment hashes the function ID,
+// so it is deterministic across processes.
+func WithShards(n int) Option {
+	return func(c *config) error {
+		if n <= 0 {
+			return fmt.Errorf("WithShards: non-positive shard count %d", n)
+		}
+		c.shards = n
 		return nil
 	}
 }

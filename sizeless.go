@@ -40,6 +40,12 @@ func StandardSizes() []MemorySize { return platform.StandardSizes() }
 // Table-1 metrics) collected at one memory size.
 type Summary = monitoring.Summary
 
+// Invocation is one monitored execution (metric vector plus bookkeeping) —
+// the unit Service.Ingest and Service.IngestBatch consume. The service
+// takes ownership of ingested slices; callers must not modify them after a
+// call.
+type Invocation = monitoring.Invocation
+
 // Dataset is the training dataset: functions × memory sizes × summaries.
 type Dataset = dataset.Dataset
 
@@ -369,8 +375,15 @@ type Service = recommender.Service
 // NewService wraps the predictor in a continuous recommendation service:
 // ingest monitoring windows per function; recommendations refresh only
 // when the workload's resource profile drifts (paper §5). WithTradeoff,
-// WithMinWindow, WithDrift, and WithWorkers tune it; pricing follows the
-// predictor's provider.
+// WithMinWindow, WithDrift, WithWorkers, and WithShards tune it; pricing
+// follows the predictor's provider.
+//
+// The service is safe for concurrent use at fleet scale: per-function
+// state is partitioned across WithShards independently locked shards
+// (default 32), Service.IngestBatch fans functions out over a WithWorkers
+// pool, and cancelling its context applies backpressure — no new functions
+// are picked up, and a function whose recomputation was cut off keeps its
+// previous state rather than a half-ingested window.
 func (p *Predictor) NewService(opts ...Option) (*Service, error) {
 	cfg, err := resolve(opts)
 	if err != nil {
@@ -386,6 +399,7 @@ func (p *Predictor) NewService(opts ...Option) (*Service, error) {
 		MinWindow:   cfg.minWindow,
 		Pricing:     pricing,
 		Workers:     cfg.workers,
+		Shards:      cfg.shards,
 	}
 	if cfg.hasDrift {
 		rc.Drift = cfg.drift

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"sizeless"
+	"sizeless/internal/fleetsynth"
 	"sizeless/internal/services"
 	"sizeless/internal/workload"
 )
@@ -346,6 +347,50 @@ func TestOptionValidation(t *testing.T) {
 	}
 	if _, err := sizeless.GenerateDataset(ctx, sizeless.WithFunctions(1), sizeless.WithTradeoff(2)); err == nil {
 		t.Error("out-of-range tradeoff should error")
+	}
+	if _, err := sizeless.GenerateDataset(ctx, sizeless.WithFunctions(1), sizeless.WithShards(0)); err == nil {
+		t.Error("non-positive shard count should error")
+	}
+	if _, err := sizeless.GenerateDataset(ctx, sizeless.WithFunctions(1), sizeless.WithShards(-4)); err == nil {
+		t.Error("negative shard count should error")
+	}
+}
+
+// TestServiceShardedFleetIngest drives the public fleet path: a sharded
+// service, one concurrent IngestBatch over many functions, and concurrent
+// readers — the WithShards/WithWorkers knobs end to end.
+func TestServiceShardedFleetIngest(t *testing.T) {
+	pred := quickPredictor(t)
+	svc, err := pred.NewService(
+		sizeless.WithMinWindow(50),
+		sizeless.WithShards(4),
+		sizeless.WithWorkers(4),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := fleetsynth.Batch(40, 60, 91, 1)
+	statuses, err := svc.IngestBatch(context.Background(), batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(statuses) != len(batch) {
+		t.Fatalf("got %d statuses, want %d", len(statuses), len(batch))
+	}
+	for id, st := range statuses {
+		if !st.HasRecommendation {
+			t.Errorf("%s: no recommendation after a full window", id)
+		}
+		if st.Observed != 60 {
+			t.Errorf("%s: observed %d, want 60", id, st.Observed)
+		}
+	}
+	sum := svc.Summarize()
+	if sum.Functions != len(batch) || sum.WithRecommend != len(batch) {
+		t.Errorf("summary %+v, want %d tracked and recommended", sum, len(batch))
+	}
+	if got := len(svc.Fleet()); got != len(batch) {
+		t.Errorf("fleet lists %d functions, want %d", got, len(batch))
 	}
 }
 
