@@ -53,10 +53,8 @@ func lab(b *testing.B) *experiments.Lab {
 		if _, err := benchLab.Dataset(); err != nil {
 			b.Fatal(err)
 		}
-		for _, base := range []platform.MemorySize{platform.Mem128, platform.Mem256} {
-			if _, err := benchLab.Model(base); err != nil {
-				b.Fatal(err)
-			}
+		if _, err := benchLab.Models(platform.Mem128, platform.Mem256); err != nil {
+			b.Fatal(err)
 		}
 		if _, err := benchLab.CaseStudies(); err != nil {
 			b.Fatal(err)
@@ -544,6 +542,101 @@ func seedSummarize(invs []monitoring.Invocation) monitoring.Summary {
 		}
 	}
 	return sum
+}
+
+// BenchmarkFineTune measures the §5 adaptation workflow end to end on the
+// shared lab model: clone, freeze half the layers, retrain 40 epochs on a
+// fifth of the corpus through the mini-batch engine (frozen layers skip
+// backward compute entirely).
+func BenchmarkFineTune(b *testing.B) {
+	l := lab(b)
+	model, err := l.Model(platform.Mem256)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ds, err := l.Dataset()
+	if err != nil {
+		b.Fatal(err)
+	}
+	idx := make([]int, len(ds.Rows)/5)
+	for i := range idx {
+		idx[i] = i
+	}
+	adapt := ds.Subset(idx)
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.FineTune(ctx, model, adapt, core.FineTuneOptions{Epochs: 40}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGridSearch measures a reduced Table-2 grid (4 configurations ×
+// 2 folds) through the shared training pool — the multi-configuration
+// consumer of the mini-batch engine.
+func BenchmarkGridSearch(b *testing.B) {
+	l := lab(b)
+	ds, err := l.Dataset()
+	if err != nil {
+		b.Fatal(err)
+	}
+	base := core.DefaultModelConfig(platform.Mem256)
+	base.EnsembleSize = 1
+	grid := core.GridSpec{
+		Optimizers: []nn.Optimizer{nn.Adam},
+		Losses:     []nn.Loss{nn.MSE, nn.MAPE},
+		Epochs:     []int{25},
+		Neurons:    []int{32},
+		L2s:        []float64{0, 0.01},
+		Layers:     []int{2},
+	}
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.GridSearch(ctx, ds, base, grid, 2, 7); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFleetDriftStationary times the steady state of a continuous
+// recommender: a 1k-function fleet with established baselines ingests
+// three same-distribution windows, so every function runs the drift
+// detector against its *unchanged* baseline each round — the case the
+// per-function rank cache accelerates (the baseline's sorted ranks are
+// built once, not once per sweep). BenchmarkDriftSweepResort/-Cached in
+// internal/monitoring isolate the detector-level delta.
+func BenchmarkFleetDriftStationary(b *testing.B) {
+	l := lab(b)
+	model, err := l.Model(platform.Mem256)
+	if err != nil {
+		b.Fatal(err)
+	}
+	baseline := fleetsynth.Batch(benchFleetSize, benchFleetWindow, 7, 1)
+	windows := make([]map[string][]monitoring.Invocation, 3)
+	for i := range windows {
+		windows[i] = fleetsynth.Batch(benchFleetSize, benchFleetWindow, int64(20+i), 1)
+	}
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		svc, err := recommender.New(model, recommender.Config{MinWindow: benchFleetWindow})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := svc.IngestBatch(ctx, baseline); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		for _, w := range windows {
+			if _, err := svc.IngestBatch(ctx, w); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
 }
 
 // BenchmarkFleetDrift times a full drift sweep: a 1k-function fleet with

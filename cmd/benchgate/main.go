@@ -1,0 +1,230 @@
+// Command benchgate fails CI when a benchmark pair regresses against the
+// repository's recorded performance trajectory (BENCH_ingest.json,
+// BENCH_train.json).
+//
+// Each trajectory file declares gates: a baseline benchmark (the preserved
+// seed implementation), a candidate benchmark (the current engine), and
+// optionally a minimum allocation-reduction factor. The recorded speedup is
+// computed from the file's most recent trajectory point; the current
+// speedup from a `go test -bench` output file. Because both sides of every
+// ratio run in the same process on the same host, the gate is
+// machine-independent: CI hardware only needs to be consistent within one
+// run, not with the machine that recorded the trajectory.
+//
+//	go test -run '^$' -bench 'BenchmarkIngestBatch$|BenchmarkIngestBatchSequential$' -benchmem . > ingest.txt
+//	benchgate -slack 0.2 -check BENCH_ingest.json:ingest.txt
+//
+// A gate fails when current speedup < recorded speedup × (1 − slack), or
+// when the allocation reduction falls below min_alloc_reduction × (1 −
+// slack).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// gate is one baseline/candidate comparison declared by a trajectory file.
+type gate struct {
+	Name      string `json:"name"`
+	Baseline  string `json:"baseline"`
+	Candidate string `json:"candidate"`
+	// MinAllocReduction additionally requires baseline_allocs ≥ this
+	// factor × candidate_allocs (0 disables the allocation gate).
+	MinAllocReduction float64 `json:"min_alloc_reduction,omitempty"`
+}
+
+// trajectoryFile is the subset of BENCH_*.json benchgate consumes.
+type trajectoryFile struct {
+	Gates      []gate `json:"gates"`
+	Trajectory []struct {
+		PR      int                    `json:"pr"`
+		Results map[string]benchResult `json:"results"`
+	} `json:"trajectory"`
+}
+
+type benchResult struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// benchLine matches one `go test -bench` result line.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+(.*)$`)
+
+// parseBenchOutput extracts ns/op and allocs/op per benchmark name
+// (GOMAXPROCS suffix stripped) from `go test -bench` output.
+func parseBenchOutput(r io.Reader) (map[string]benchResult, error) {
+	out := make(map[string]benchResult)
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(sc.Text()))
+		if m == nil {
+			continue
+		}
+		res := benchResult{}
+		fields := strings.Fields(m[2])
+		for i := 0; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				res.NsPerOp = v
+			case "allocs/op":
+				res.AllocsPerOp = v
+			}
+		}
+		out[m[1]] = res
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no benchmark result lines found")
+	}
+	return out, nil
+}
+
+// checkArg is one -check trajectory.json:benchoutput.txt pair.
+type checkArg struct{ trajectory, bench string }
+
+type checkList []checkArg
+
+func (c *checkList) String() string { return fmt.Sprintf("%v", *c) }
+
+func (c *checkList) Set(v string) error {
+	traj, bench, ok := strings.Cut(v, ":")
+	if !ok {
+		return fmt.Errorf("want trajectory.json:benchoutput.txt, got %q", v)
+	}
+	*c = append(*c, checkArg{trajectory: traj, bench: bench})
+	return nil
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("benchgate", flag.ContinueOnError)
+	slack := fs.Float64("slack", 0.2, "tolerated fraction below the recorded ratio")
+	var checks checkList
+	fs.Var(&checks, "check", "trajectory.json:benchoutput.txt pair (repeatable)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if len(checks) == 0 {
+		return fmt.Errorf("no -check pairs given")
+	}
+	if *slack < 0 || *slack >= 1 {
+		return fmt.Errorf("slack %v outside [0, 1)", *slack)
+	}
+	var failures []string
+	for _, c := range checks {
+		if err := runCheck(c, *slack, out, &failures); err != nil {
+			return err
+		}
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("%d gate(s) failed:\n  %s", len(failures), strings.Join(failures, "\n  "))
+	}
+	return nil
+}
+
+func runCheck(c checkArg, slack float64, out io.Writer, failures *[]string) error {
+	raw, err := os.ReadFile(c.trajectory)
+	if err != nil {
+		return err
+	}
+	var traj trajectoryFile
+	if err := json.Unmarshal(raw, &traj); err != nil {
+		return fmt.Errorf("%s: %w", c.trajectory, err)
+	}
+	if len(traj.Gates) == 0 {
+		return fmt.Errorf("%s: no gates declared", c.trajectory)
+	}
+	if len(traj.Trajectory) == 0 {
+		return fmt.Errorf("%s: no trajectory points", c.trajectory)
+	}
+	recorded := traj.Trajectory[len(traj.Trajectory)-1].Results
+
+	bf, err := os.Open(c.bench)
+	if err != nil {
+		return err
+	}
+	current, err := parseBenchOutput(bf)
+	bf.Close()
+	if err != nil {
+		return fmt.Errorf("%s: %w", c.bench, err)
+	}
+
+	for _, g := range traj.Gates {
+		recSpeed, err := ratio(recorded, g, "recorded", c.trajectory, func(r benchResult) float64 { return r.NsPerOp })
+		if err != nil {
+			return err
+		}
+		curSpeed, err := ratio(current, g, "current", c.bench, func(r benchResult) float64 { return r.NsPerOp })
+		if err != nil {
+			return err
+		}
+		floor := recSpeed * (1 - slack)
+		status := "ok"
+		if curSpeed < floor {
+			status = "FAIL"
+			*failures = append(*failures, fmt.Sprintf(
+				"%s: speedup %.2fx below floor %.2fx (recorded %.2fx, slack %.0f%%)",
+				g.Name, curSpeed, floor, recSpeed, slack*100))
+		}
+		fmt.Fprintf(out, "%-28s speedup %6.2fx (recorded %.2fx, floor %.2fx) %s\n",
+			g.Name, curSpeed, recSpeed, floor, status)
+
+		if g.MinAllocReduction > 0 {
+			curAlloc, err := ratio(current, g, "current", c.bench, func(r benchResult) float64 { return r.AllocsPerOp })
+			if err != nil {
+				return err
+			}
+			aFloor := g.MinAllocReduction * (1 - slack)
+			aStatus := "ok"
+			if curAlloc < aFloor {
+				aStatus = "FAIL"
+				*failures = append(*failures, fmt.Sprintf(
+					"%s: alloc reduction %.1fx below floor %.1fx", g.Name, curAlloc, aFloor))
+			}
+			fmt.Fprintf(out, "%-28s allocs  %6.1fx (floor %.1fx) %s\n", g.Name, curAlloc, aFloor, aStatus)
+		}
+	}
+	return nil
+}
+
+// ratio computes metric(baseline)/metric(candidate) for a gate over one
+// result set.
+func ratio(results map[string]benchResult, g gate, which, src string, metric func(benchResult) float64) (float64, error) {
+	base, ok := results[g.Baseline]
+	if !ok {
+		return 0, fmt.Errorf("%s gate %q: baseline %s missing from %s", which, g.Name, g.Baseline, src)
+	}
+	cand, ok := results[g.Candidate]
+	if !ok {
+		return 0, fmt.Errorf("%s gate %q: candidate %s missing from %s", which, g.Name, g.Candidate, src)
+	}
+	cv := metric(cand)
+	if cv == 0 {
+		// A zero-allocation candidate trivially satisfies any reduction.
+		if metric(base) == 0 {
+			return 1, nil
+		}
+		return 1e9, nil
+	}
+	return metric(base) / cv, nil
+}

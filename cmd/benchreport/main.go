@@ -10,7 +10,7 @@
 //
 // Experiment ids: fig1 fig3 fig4 fig5 table2 table3 fig6 table4-7 fig7
 // table8 baselines ablation-targets ablation-features ablation-increments
-// transfer transfer-matrix ingest-scale.
+// transfer transfer-matrix ingest-scale train-scale.
 //
 // "transfer-matrix" goes beyond the paper: it trains a model per built-in
 // provider and scores every source→target pair under the stale, fine-tuned
@@ -21,6 +21,11 @@
 // IngestBatch throughput across fleet size × shards × workers, reported as
 // a table with speedups over the single-shard single-worker baseline (the
 // trajectory behind BENCH_ingest.json).
+//
+// "train-scale" measures the mini-batch GEMM training engine: epochs per
+// second across batch sizes (batch 1 degenerates to per-sample updates)
+// plus the frozen-half fine-tune timing (the trajectory behind
+// BENCH_train.json).
 package main
 
 import (
@@ -96,6 +101,9 @@ func runners() []experimentRunner {
 		}},
 		{"ingest-scale", func(lab *experiments.Lab) (renderable, error) {
 			return experiments.IngestScale(lab)
+		}},
+		{"train-scale", func(lab *experiments.Lab) (renderable, error) {
+			return experiments.TrainScale(lab)
 		}},
 	}
 }

@@ -11,10 +11,14 @@
 //   - model.go — ModelConfig (base size, prediction grid, feature set,
 //     network hyperparameters) and Train, which extracts the feature matrix
 //     and ratio targets, fits a standardizing scaler, and trains a small
-//     ensemble of networks in parallel. Predict/PredictBatch run the
-//     ensemble, clamp the predicted ratios to a physically plausible band,
-//     and project the per-size times onto the monotone region (more memory
-//     never predicts slower execution).
+//     ensemble of networks through the shared worker pool (internal/pool,
+//     bounded by ModelConfig.Workers; each member derives its own seed, so
+//     results are identical for any worker count). Predict/PredictBatch run
+//     the ensemble, clamp the predicted ratios to a physically plausible
+//     band, and project the per-size times onto the monotone region (more
+//     memory never predicts slower execution). trainmodels.go adds
+//     TrainModels, the multi-model fan-out (one model per base size or per
+//     provider) over the same pool.
 //
 //   - evaluate.go — CVMetrics (the Table 3 quality metrics), k-fold
 //     CrossValidate, Evaluate for held-out datasets, and the sequential
@@ -25,7 +29,11 @@
 //     on a small dataset measured on a changed (or different) platform. The
 //     clone keeps the source model's feature scaler so inputs stay on the
 //     source scale, and records a Provenance describing the adaptation.
-//     The public sizeless.Predictor.Adapt wraps this.
+//     The public sizeless.Predictor.Adapt wraps this. FineTune shares the
+//     nn package's mini-batch GEMM engine with Train — the freeze is
+//     applied at the engine level, so frozen layers skip backward compute
+//     entirely (not just the weight update), and ensemble members adapt
+//     concurrently through the same worker pool.
 //
 //   - serialize.go — JSON persistence of weights, scaler, feature names,
 //     grid metadata, and (for adapted models) Provenance, so a saved model

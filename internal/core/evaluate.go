@@ -4,12 +4,11 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	goruntime "runtime"
-	"sync"
 
 	"sizeless/internal/dataset"
 	"sizeless/internal/features"
 	"sizeless/internal/nn"
+	"sizeless/internal/pool"
 	"sizeless/internal/stats"
 	"sizeless/internal/xrand"
 )
@@ -31,8 +30,10 @@ func CrossValidate(ctx context.Context, ds *dataset.Dataset, cfg ModelConfig, k,
 	if iterations <= 0 {
 		iterations = 1
 	}
-	// Folds are independent experiments; run them in parallel and merge in
-	// fold order so the pooled metrics are deterministic.
+	// Folds are independent experiments; run them through the shared
+	// worker pool (bounded by cfg.Workers) and merge in fold order so the
+	// pooled metrics are deterministic. Each fold trains its ensemble
+	// sequentially — the fold pool owns the parallelism budget.
 	type foldJob struct {
 		it, fi int
 		fold   []int
@@ -52,33 +53,26 @@ func CrossValidate(ctx context.Context, ds *dataset.Dataset, cfg ModelConfig, k,
 	}
 	predsPer := make([][]float64, len(jobs))
 	truthsPer := make([][]float64, len(jobs))
-	errsPer := make([]error, len(jobs))
-	sem := make(chan struct{}, goruntime.GOMAXPROCS(0))
-	var wg sync.WaitGroup
-	for j, job := range jobs {
-		wg.Add(1)
-		go func(j int, job foldJob) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			train := ds.Complement(job.fold)
-			test := ds.Subset(job.fold)
-			foldCfg := cfg
-			foldCfg.Seed = cfg.Seed + int64(job.it*foldsPerIt+job.fi)
-			model, err := Train(ctx, train, foldCfg)
-			if err != nil {
-				errsPer[j] = err
-				return
-			}
-			predsPer[j], truthsPer[j], errsPer[j] = ratioPairs(model, test)
-		}(j, job)
+	err := pool.Run(ctx, len(jobs), cfg.Workers, func(j int) error {
+		job := jobs[j]
+		train := ds.Complement(job.fold)
+		test := ds.Subset(job.fold)
+		foldCfg := cfg
+		foldCfg.Seed = cfg.Seed + int64(job.it*foldsPerIt+job.fi)
+		foldCfg.Workers = 1
+		model, err := Train(ctx, train, foldCfg)
+		if err != nil {
+			return err
+		}
+		var perr error
+		predsPer[j], truthsPer[j], perr = ratioPairs(model, test)
+		return perr
+	})
+	if err != nil {
+		return CVMetrics{}, err
 	}
-	wg.Wait()
 	var preds, truths []float64
 	for j := range jobs {
-		if errsPer[j] != nil {
-			return CVMetrics{}, errsPer[j]
-		}
 		preds = append(preds, predsPer[j]...)
 		truths = append(truths, truthsPer[j]...)
 	}

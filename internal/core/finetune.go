@@ -8,6 +8,7 @@ import (
 
 	"sizeless/internal/dataset"
 	"sizeless/internal/features"
+	"sizeless/internal/pool"
 )
 
 // FineTuneOptions configures transfer learning (the paper's §5 proposal for
@@ -26,6 +27,10 @@ type FineTuneOptions struct {
 	// adapted model's Provenance and serialized with it; empty labels are
 	// fine.
 	Source, Target string
+	// Workers bounds how many ensemble members fine-tune concurrently
+	// (0 = GOMAXPROCS). Members are independent, so the adapted model is
+	// identical for any worker count.
+	Workers int
 }
 
 // Provenance records how an adapted model came to be: the transfer-learning
@@ -98,13 +103,21 @@ func FineTune(ctx context.Context, m *Model, ds *dataset.Dataset, opts FineTuneO
 		return nil, fmt.Errorf("core: fine-tune: %w", err)
 	}
 
+	// Every ensemble member shares the mini-batch training engine with
+	// Train: the freeze is applied at the engine level, so frozen layers
+	// skip backward compute entirely. Members adapt independently through
+	// the shared worker pool.
 	for _, net := range clone.nets {
 		if err := net.SetFrozenLayers(freeze); err != nil {
 			return nil, fmt.Errorf("core: fine-tune: %w", err)
 		}
-		if _, err := net.TrainEpochs(ctx, xs, y, opts.Epochs); err != nil {
-			return nil, fmt.Errorf("core: fine-tune: %w", err)
-		}
+	}
+	err = pool.Run(ctx, len(clone.nets), opts.Workers, func(i int) error {
+		_, err := clone.nets[i].TrainEpochs(ctx, xs, y, opts.Epochs)
+		return err
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: fine-tune: %w", err)
 	}
 	clone.prov = Provenance{
 		FineTuned:    true,

@@ -7,6 +7,7 @@ import (
 
 	"sizeless/internal/dataset"
 	"sizeless/internal/nn"
+	"sizeless/internal/pool"
 )
 
 // GridSpec enumerates the hyperparameter grid of paper Table 2.
@@ -42,19 +43,16 @@ type GridResult struct {
 	Metrics CVMetrics
 }
 
-// GridSearch evaluates every configuration in the grid with k-fold CV and
-// returns the results sorted by ascending MSE (best first).
-func GridSearch(ctx context.Context, ds *dataset.Dataset, base ModelConfig, grid GridSpec, k int, seed int64) ([]GridResult, error) {
-	if grid.Size() == 0 {
-		return nil, errors.New("core: empty hyperparameter grid")
-	}
-	results := make([]GridResult, 0, grid.Size())
-	for _, opt := range grid.Optimizers {
-		for _, loss := range grid.Losses {
-			for _, epochs := range grid.Epochs {
-				for _, neurons := range grid.Neurons {
-					for _, l2 := range grid.L2s {
-						for _, layers := range grid.Layers {
+// Configs expands the grid into the concrete model configurations, in
+// the deterministic enumeration order of the paper's Table 2 axes.
+func (g GridSpec) Configs(base ModelConfig) []ModelConfig {
+	cfgs := make([]ModelConfig, 0, g.Size())
+	for _, opt := range g.Optimizers {
+		for _, loss := range g.Losses {
+			for _, epochs := range g.Epochs {
+				for _, neurons := range g.Neurons {
+					for _, l2 := range g.L2s {
+						for _, layers := range g.Layers {
 							cfg := base
 							cfg.Optimizer = opt
 							cfg.Loss = loss
@@ -64,16 +62,42 @@ func GridSearch(ctx context.Context, ds *dataset.Dataset, base ModelConfig, grid
 							for i := range cfg.Hidden {
 								cfg.Hidden[i] = neurons
 							}
-							m, err := CrossValidate(ctx, ds, cfg, k, 1, seed)
-							if err != nil {
-								return nil, err
-							}
-							results = append(results, GridResult{Config: cfg, Metrics: m})
+							cfgs = append(cfgs, cfg)
 						}
 					}
 				}
 			}
 		}
+	}
+	return cfgs
+}
+
+// GridSearch evaluates every configuration in the grid with k-fold CV and
+// returns the results sorted by ascending MSE (best first). Configurations
+// run concurrently through the shared worker pool, bounded by base.Workers
+// (0 = GOMAXPROCS); every configuration reuses the same CV seed, so the
+// ranking is identical for any worker count. Cancelling ctx abandons
+// unstarted configurations and returns the context's error.
+func GridSearch(ctx context.Context, ds *dataset.Dataset, base ModelConfig, grid GridSpec, k int, seed int64) ([]GridResult, error) {
+	if grid.Size() == 0 {
+		return nil, errors.New("core: empty hyperparameter grid")
+	}
+	cfgs := grid.Configs(base)
+	results := make([]GridResult, len(cfgs))
+	err := pool.Run(ctx, len(cfgs), base.Workers, func(i int) error {
+		cfg := cfgs[i]
+		// The configuration pool owns the parallelism budget; folds and
+		// ensemble members inside each configuration run sequentially.
+		cfg.Workers = 1
+		m, err := CrossValidate(ctx, ds, cfg, k, 1, seed)
+		if err != nil {
+			return err
+		}
+		results[i] = GridResult{Config: cfgs[i], Metrics: m}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	sort.SliceStable(results, func(i, j int) bool {
 		return results[i].Metrics.MSE < results[j].Metrics.MSE

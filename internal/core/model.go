@@ -16,6 +16,7 @@ import (
 	"sizeless/internal/monitoring"
 	"sizeless/internal/nn"
 	"sizeless/internal/platform"
+	"sizeless/internal/pool"
 )
 
 // ModelConfig describes one trainable model: which base size it monitors,
@@ -43,6 +44,11 @@ type ModelConfig struct {
 	// 2000 functions; at smaller dataset sizes a small ensemble removes
 	// the prediction jitter of individual networks. Default: 3.
 	EnsembleSize int
+	// Workers bounds how many ensemble members (and, in CrossValidate,
+	// folds) train concurrently: 0 = GOMAXPROCS, 1 = sequential. It is a
+	// scheduling knob, not a hyperparameter — results are identical for
+	// any value because every member derives its own seed.
+	Workers int
 }
 
 // DefaultModelConfig returns the paper's final configuration for the given
@@ -168,43 +174,34 @@ func Train(ctx context.Context, ds *dataset.Dataset, cfg ModelConfig) (*Model, e
 		return nil, fmt.Errorf("core: %w", err)
 	}
 
-	// Ensemble members are independent; train them in parallel. Each has
-	// its own seed, so the result does not depend on scheduling.
+	// Ensemble members are independent; train them through the shared
+	// bounded worker pool. Each member derives its own seed, so the result
+	// does not depend on scheduling or worker count.
 	nets := make([]*nn.Network, cfg.EnsembleSize)
-	errs := make([]error, cfg.EnsembleSize)
-	var wg sync.WaitGroup
-	for e := 0; e < cfg.EnsembleSize; e++ {
-		wg.Add(1)
-		go func(e int) {
-			defer wg.Done()
-			net, err := nn.New(nn.Config{
-				Inputs:       len(cfg.Features),
-				Outputs:      len(targets),
-				Hidden:       cfg.Hidden,
-				Optimizer:    cfg.Optimizer,
-				Loss:         cfg.Loss,
-				L2:           cfg.L2,
-				Epochs:       cfg.Epochs,
-				LearningRate: cfg.LearningRate,
-				BatchSize:    cfg.BatchSize,
-				Seed:         cfg.Seed + int64(e)*9973,
-			})
-			if err != nil {
-				errs[e] = err
-				return
-			}
-			if _, err := net.Train(ctx, xs, y); err != nil {
-				errs[e] = err
-				return
-			}
-			nets[e] = net
-		}(e)
-	}
-	wg.Wait()
-	for _, err := range errs {
+	err = pool.Run(ctx, cfg.EnsembleSize, cfg.Workers, func(e int) error {
+		net, err := nn.New(nn.Config{
+			Inputs:       len(cfg.Features),
+			Outputs:      len(targets),
+			Hidden:       cfg.Hidden,
+			Optimizer:    cfg.Optimizer,
+			Loss:         cfg.Loss,
+			L2:           cfg.L2,
+			Epochs:       cfg.Epochs,
+			LearningRate: cfg.LearningRate,
+			BatchSize:    cfg.BatchSize,
+			Seed:         cfg.Seed + int64(e)*9973,
+		})
 		if err != nil {
-			return nil, fmt.Errorf("core: %w", err)
+			return err
 		}
+		if _, err := net.Train(ctx, xs, y); err != nil {
+			return err
+		}
+		nets[e] = net
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
 	}
 	m := &Model{cfg: cfg, targets: targets, scaler: scaler, nets: nets}
 	if err := m.initDerived(); err != nil {

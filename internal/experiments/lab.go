@@ -248,6 +248,40 @@ func (l *Lab) Model(base platform.MemorySize) (*core.Model, error) {
 	return m, nil
 }
 
+// Models trains (and caches) the predictors for several base sizes in one
+// shot through the shared training pool — the §4 multi-network workflow.
+// Cached bases are skipped; results align with bases.
+func (l *Lab) Models(bases ...platform.MemorySize) ([]*core.Model, error) {
+	ds, err := l.Dataset()
+	if err != nil {
+		return nil, err
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var jobs []core.TrainJob
+	var missing []platform.MemorySize
+	for _, base := range bases {
+		if _, ok := l.models[base]; !ok {
+			jobs = append(jobs, core.TrainJob{Dataset: ds, Config: l.modelConfig(base)})
+			missing = append(missing, base)
+		}
+	}
+	if len(jobs) > 0 {
+		trained, err := core.TrainModels(context.Background(), jobs, l.Scale.Workers)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: training bases %v: %w", missing, err)
+		}
+		for i, base := range missing {
+			l.models[base] = trained[i]
+		}
+	}
+	out := make([]*core.Model, len(bases))
+	for i, base := range bases {
+		out[i] = l.models[base]
+	}
+	return out, nil
+}
+
 // CaseStudies lazily measures the four applications at every memory size
 // with the scale's repetitions, honouring each app's drift.
 func (l *Lab) CaseStudies() ([]*CaseStudy, error) {

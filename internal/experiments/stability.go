@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -51,17 +52,22 @@ func StabilityAnalysis(lab *Lab) (*StabilityResult, error) {
 		Alpha:    0.05,
 	}
 
-	perFunction := make([][]harness.MetricStability, 0, len(fns))
-	for _, fn := range fns {
-		invs, err := traceForStability(lab, fn.Spec)
-		if err != nil {
-			return nil, err
-		}
-		ms, err := harness.AnalyzeStability(invs, sOpts)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: fig3 %s: %w", fn.Spec.Name, err)
-		}
-		perFunction = append(perFunction, ms)
+	// Multi-start: every function's trace + analysis runs through the
+	// shared worker pool (per-spec derived streams keep the result
+	// bit-identical for any worker count).
+	specs := make([]*workload.Spec, len(fns))
+	for i, fn := range fns {
+		specs[i] = fn.Spec
+	}
+	tOpts := harness.Options{
+		Rate:     scale.Rate,
+		Duration: scale.StabilityDuration,
+		Seed:     scale.Seed + 3,
+		Workers:  scale.Workers,
+	}
+	perFunction, err := harness.StabilityBatch(context.Background(), tOpts, sOpts, specs, platform.Mem256)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: fig3: %w", err)
 	}
 
 	res := &StabilityResult{
@@ -85,20 +91,6 @@ func StabilityAnalysis(lab *Lab) (*StabilityResult, error) {
 		}
 	}
 	return res, nil
-}
-
-func traceForStability(lab *Lab, spec *workload.Spec) ([]monitoring.Invocation, error) {
-	opts := harness.Options{
-		Rate:     lab.Scale.Rate,
-		Duration: lab.Scale.StabilityDuration,
-		Seed:     lab.Scale.Seed + 3,
-		Workers:  lab.Scale.Workers,
-	}
-	invs, err := harness.Trace(opts, spec, platform.Mem256)
-	if err != nil {
-		return nil, fmt.Errorf("experiments: fig3 trace %s: %w", spec.Name, err)
-	}
-	return invs, nil
 }
 
 // Render prints the Fig. 3 series: unstable counts per metric over the

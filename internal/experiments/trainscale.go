@@ -1,0 +1,116 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"sizeless/internal/core"
+	"sizeless/internal/platform"
+)
+
+// TrainScaleRow is one measured cell of the training-engine scaling table.
+type TrainScaleRow struct {
+	// Batch is the mini-batch size the GEMM engine processed per step.
+	Batch int
+	// Elapsed is the wall time of training one model (single ensemble
+	// member) on the lab dataset.
+	Elapsed time.Duration
+	// EpochsPerSec is the training throughput.
+	EpochsPerSec float64
+	// Speedup is EpochsPerSec relative to the batch-1 row — batch 1
+	// degenerates the GEMM engine to per-sample updates, so the column
+	// reads as "what mini-batch vectorization buys".
+	Speedup float64
+}
+
+// TrainScaleResult is the train-scale experiment output: engine throughput
+// across mini-batch sizes, plus the fine-tune timing of the same engine
+// with frozen layers skipping backward compute.
+type TrainScaleResult struct {
+	Epochs   int
+	Rows     []TrainScaleRow
+	FineTune time.Duration
+	// FineTuneEpochs is the adaptation budget behind FineTune.
+	FineTuneEpochs int
+}
+
+// TrainScale measures the mini-batch training engine (benchreport id
+// "train-scale"): one model per batch size through core.Train, then one
+// frozen-half fine-tune — the workflow trajectory behind BENCH_train.json.
+// Note that batch size changes the optimizer's step count, so the rows
+// compare engine throughput, not final model quality.
+func TrainScale(l *Lab) (*TrainScaleResult, error) {
+	ds, err := l.Dataset()
+	if err != nil {
+		return nil, err
+	}
+	base := platform.Nearest(platform.Mem256, l.Sizes())
+	cfg := l.modelConfig(base)
+	cfg.EnsembleSize = 1
+	cfg.Epochs = min(l.Scale.Epochs, 150)
+	ctx := context.Background()
+
+	res := &TrainScaleResult{Epochs: cfg.Epochs}
+	var model *core.Model
+	for _, batch := range []int{1, 8, 32, 128} {
+		c := cfg
+		c.BatchSize = batch
+		start := time.Now()
+		m, err := core.Train(ctx, ds, c)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: train-scale batch %d: %w", batch, err)
+		}
+		elapsed := time.Since(start)
+		row := TrainScaleRow{
+			Batch:        batch,
+			Elapsed:      elapsed,
+			EpochsPerSec: float64(cfg.Epochs) / elapsed.Seconds(),
+		}
+		if len(res.Rows) > 0 {
+			row.Speedup = row.EpochsPerSec / res.Rows[0].EpochsPerSec
+		} else {
+			row.Speedup = 1
+		}
+		res.Rows = append(res.Rows, row)
+		if batch == 32 {
+			model = m
+		}
+	}
+
+	// Fine-tune the batch-32 model on a fifth of the corpus with the
+	// default frozen-half split: the engine's freeze fast path.
+	adaptN := len(ds.Rows) / 5
+	if adaptN < 2 {
+		adaptN = 2
+	}
+	idx := make([]int, adaptN)
+	for i := range idx {
+		idx[i] = i
+	}
+	res.FineTuneEpochs = min(cfg.Epochs, 50)
+	start := time.Now()
+	if _, err := core.FineTune(ctx, model, ds.Subset(idx), core.FineTuneOptions{
+		Epochs: res.FineTuneEpochs,
+	}); err != nil {
+		return nil, fmt.Errorf("experiments: train-scale fine-tune: %w", err)
+	}
+	res.FineTune = time.Since(start)
+	return res, nil
+}
+
+// Render prints the throughput table.
+func (r *TrainScaleResult) Render() string {
+	t := newTable("batch", "elapsed", "epochs/s", "speedup vs batch-1")
+	for _, row := range r.Rows {
+		t.addRow(
+			fmt.Sprintf("%d", row.Batch),
+			row.Elapsed.Round(time.Millisecond).String(),
+			fmt.Sprintf("%.1f", row.EpochsPerSec),
+			fmt.Sprintf("%.2fx", row.Speedup),
+		)
+	}
+	return fmt.Sprintf(
+		"Mini-batch training engine throughput (%d epochs, single ensemble member):\n\n%s\nfrozen-half fine-tune (%d epochs, 1/5 corpus): %v\n",
+		r.Epochs, t.String(), r.FineTuneEpochs, r.FineTune.Round(time.Millisecond))
+}

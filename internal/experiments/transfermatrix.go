@@ -13,6 +13,7 @@ import (
 	"sizeless/internal/monitoring"
 	"sizeless/internal/optimizer"
 	"sizeless/internal/platform"
+	"sizeless/internal/pool"
 	"sizeless/internal/runtime"
 	"sizeless/internal/workload"
 	"sizeless/internal/xrand"
@@ -173,9 +174,27 @@ func TransferMatrix(lab *Lab, providers ...platform.Provider) (*TransferMatrixRe
 		if sets[i].test, err = measure(testSpecs, 60); err != nil {
 			return nil, fmt.Errorf("experiments: transfer-matrix %s test set: %w", p.Name(), err)
 		}
-		if sets[i].model, err = core.Train(context.Background(), sets[i].train, modelCfg); err != nil {
-			return nil, fmt.Errorf("experiments: transfer-matrix %s source model: %w", p.Name(), err)
-		}
+	}
+
+	// All training goes through the shared pool: one source model per
+	// provider plus one from-scratch model per *target* — the latter were
+	// previously retrained per ordered pair although every source shares
+	// the same small-corpus baseline (same config, seed, and data).
+	jobs := make([]core.TrainJob, 0, 2*len(sets))
+	for i := range sets {
+		jobs = append(jobs, core.TrainJob{Dataset: sets[i].train, Config: modelCfg})
+	}
+	for i := range sets {
+		jobs = append(jobs, core.TrainJob{Dataset: sets[i].adapt, Config: modelCfg})
+	}
+	models, err := core.TrainModels(context.Background(), jobs, scale.Workers)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: transfer-matrix training: %w", err)
+	}
+	fresh := make([]*core.Model, len(sets))
+	for i := range sets {
+		sets[i].model = models[i]
+		fresh[i] = models[len(sets)+i]
 	}
 
 	const tradeoff = 0.75
@@ -191,49 +210,56 @@ func TransferMatrix(lab *Lab, providers ...platform.Provider) (*TransferMatrixRe
 		res.Providers = append(res.Providers, s.provider.Name())
 	}
 
-	for _, src := range sets {
-		for _, tgt := range sets {
-			cell := TransferCell{Source: src.provider.Name(), Target: tgt.provider.Name()}
-			pricing := tgt.provider.Platform().Pricing
+	// Every ordered pair is independent: its fine-tune clones the source
+	// model and its scores only read shared models, so the cells fan out
+	// over the worker pool in source-major order.
+	res.Cells = make([]TransferCell, len(sets)*len(sets))
+	err = pool.Run(context.Background(), len(res.Cells), scale.Workers, func(idx int) error {
+		src := sets[idx/len(sets)]
+		ti := idx % len(sets)
+		tgt := sets[ti]
+		cell := TransferCell{Source: src.provider.Name(), Target: tgt.provider.Name()}
+		pricing := tgt.provider.Platform().Pricing
 
-			score := func(m *core.Model) (core.CVMetrics, float64, error) {
-				metrics, err := core.Evaluate(m, tgt.test)
-				if err != nil {
-					return core.CVMetrics{}, 0, err
-				}
-				delta, err := costRegret(m, tgt.test, pricing, tradeoff)
-				if err != nil {
-					return core.CVMetrics{}, 0, err
-				}
-				return metrics, delta, nil
-			}
-
-			if cell.Stale, cell.StaleCostDelta, err = score(src.model); err != nil {
-				return nil, fmt.Errorf("experiments: transfer-matrix %s→%s stale: %w", cell.Source, cell.Target, err)
-			}
-
-			tuned, err := core.FineTune(context.Background(), src.model, tgt.adapt, core.FineTuneOptions{
-				Epochs: tuneEpochs,
-				Source: cell.Source,
-				Target: cell.Target,
-			})
+		score := func(m *core.Model) (core.CVMetrics, float64, error) {
+			metrics, err := core.Evaluate(m, tgt.test)
 			if err != nil {
-				return nil, fmt.Errorf("experiments: transfer-matrix %s→%s fine-tune: %w", cell.Source, cell.Target, err)
+				return core.CVMetrics{}, 0, err
 			}
-			if cell.FineTuned, cell.FineTunedCostDelta, err = score(tuned); err != nil {
-				return nil, fmt.Errorf("experiments: transfer-matrix %s→%s fine-tuned: %w", cell.Source, cell.Target, err)
-			}
-
-			fresh, err := core.Train(context.Background(), tgt.adapt, modelCfg)
+			delta, err := costRegret(m, tgt.test, pricing, tradeoff)
 			if err != nil {
-				return nil, fmt.Errorf("experiments: transfer-matrix %s→%s from-scratch: %w", cell.Source, cell.Target, err)
+				return core.CVMetrics{}, 0, err
 			}
-			if cell.FromScratch, cell.FromScratchCostDelta, err = score(fresh); err != nil {
-				return nil, fmt.Errorf("experiments: transfer-matrix %s→%s from-scratch: %w", cell.Source, cell.Target, err)
-			}
-
-			res.Cells = append(res.Cells, cell)
+			return metrics, delta, nil
 		}
+
+		var err error
+		if cell.Stale, cell.StaleCostDelta, err = score(src.model); err != nil {
+			return fmt.Errorf("experiments: transfer-matrix %s→%s stale: %w", cell.Source, cell.Target, err)
+		}
+
+		tuned, err := core.FineTune(context.Background(), src.model, tgt.adapt, core.FineTuneOptions{
+			Epochs:  tuneEpochs,
+			Source:  cell.Source,
+			Target:  cell.Target,
+			Workers: 1, // the cell pool owns the parallelism budget
+		})
+		if err != nil {
+			return fmt.Errorf("experiments: transfer-matrix %s→%s fine-tune: %w", cell.Source, cell.Target, err)
+		}
+		if cell.FineTuned, cell.FineTunedCostDelta, err = score(tuned); err != nil {
+			return fmt.Errorf("experiments: transfer-matrix %s→%s fine-tuned: %w", cell.Source, cell.Target, err)
+		}
+
+		if cell.FromScratch, cell.FromScratchCostDelta, err = score(fresh[ti]); err != nil {
+			return fmt.Errorf("experiments: transfer-matrix %s→%s from-scratch: %w", cell.Source, cell.Target, err)
+		}
+
+		res.Cells[idx] = cell
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return res, nil
 }

@@ -1,11 +1,16 @@
 package harness
 
 import (
+	"context"
 	"errors"
+	"fmt"
 	"time"
 
 	"sizeless/internal/monitoring"
+	"sizeless/internal/platform"
+	"sizeless/internal/pool"
 	"sizeless/internal/stats"
+	"sizeless/internal/workload"
 )
 
 // StabilityOptions configures the metric-stability test of paper §3.3: for
@@ -81,6 +86,34 @@ func AnalyzeStability(invs []monitoring.Invocation, opts StabilityOptions) ([]Me
 			ms.Delta[i] = d
 		}
 		out = append(out, ms)
+	}
+	return out, nil
+}
+
+// StabilityBatch is the multi-start stability search: it traces every spec
+// at memory size m and runs AnalyzeStability on each trace, fanning the
+// (trace + analyze) work out over the shared worker pool bounded by
+// opts.Workers. Results align positionally with specs and are bit-identical
+// for any worker count — every trace derives its randomness from the root
+// seed plus the spec's name. Cancelling ctx abandons unstarted specs and
+// returns the context's error.
+func StabilityBatch(ctx context.Context, opts Options, sOpts StabilityOptions, specs []*workload.Spec, m platform.MemorySize) ([][]MetricStability, error) {
+	opts = opts.withDefaults()
+	out := make([][]MetricStability, len(specs))
+	err := pool.Run(ctx, len(specs), opts.Workers, func(i int) error {
+		invs, err := Trace(opts, specs[i], m)
+		if err != nil {
+			return fmt.Errorf("harness: stability trace %s: %w", specs[i].Name, err)
+		}
+		ms, err := AnalyzeStability(invs, sOpts)
+		if err != nil {
+			return fmt.Errorf("harness: stability %s: %w", specs[i].Name, err)
+		}
+		out[i] = ms
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

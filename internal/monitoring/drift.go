@@ -2,6 +2,7 @@ package monitoring
 
 import (
 	"errors"
+	"sort"
 
 	"sizeless/internal/stats"
 )
@@ -72,23 +73,85 @@ var ErrWindowTooSmall = errors.New("monitoring: drift windows need at least 20 s
 // function at the same memory size and reports which model-relevant metrics
 // shifted. A drifted report means the memory-size recommendation should be
 // recomputed from the new window's summary.
+//
+// For repeated comparisons against the same baseline — the stationary-fleet
+// steady state of a continuous recommender — prepare the baseline once with
+// PrepareBaseline and call DetectDriftAgainst instead: DetectDrift re-sorts
+// the unchanged baseline on every call.
 func DetectDrift(oldWindow, newWindow []Invocation, cfg DriftDetectorConfig) (DriftReport, error) {
 	cfg = cfg.withDefaults()
 	if len(oldWindow) < 20 || len(newWindow) < 20 {
 		return DriftReport{}, ErrWindowTooSmall
 	}
-	report := DriftReport{Checked: len(cfg.Metrics)}
-	for _, id := range cfg.Metrics {
-		oldS := MetricSamples(oldWindow, id)
-		newS := MetricSamples(newWindow, id)
-		res, err := stats.MannWhitneyU(newS, oldS)
+	return DetectDriftAgainst(PrepareBaseline(oldWindow, cfg), newWindow, cfg)
+}
+
+// PreparedBaseline caches a baseline window's per-metric sorted samples so
+// a fleet-wide drift sweep stops re-sorting the unchanged baseline on
+// every pass: both rank tests (Mann-Whitney U and Cliff's delta) consume
+// the sorted series directly. A PreparedBaseline is immutable with respect
+// to its baseline but carries reusable gather/sort scratch for the new
+// window, so it must not be used from multiple goroutines at once (the
+// recommender holds it under the function's shard lock).
+type PreparedBaseline struct {
+	n       int
+	metrics []MetricID
+	sorted  [][]float64
+	scratch []float64
+}
+
+// PrepareBaseline extracts and sorts the baseline's samples for every
+// metric the detector configuration tests.
+func PrepareBaseline(oldWindow []Invocation, cfg DriftDetectorConfig) *PreparedBaseline {
+	cfg = cfg.withDefaults()
+	p := &PreparedBaseline{
+		n:       len(oldWindow),
+		metrics: cfg.Metrics,
+		sorted:  make([][]float64, len(cfg.Metrics)),
+	}
+	for i, id := range cfg.Metrics {
+		s := MetricSamples(oldWindow, id)
+		sort.Float64s(s)
+		p.sorted[i] = s
+	}
+	return p
+}
+
+// N returns the number of invocations in the prepared baseline window.
+func (p *PreparedBaseline) N() int { return p.n }
+
+// DetectDriftAgainst is DetectDrift against a prepared baseline: only the
+// new window is gathered and sorted (into scratch reused across calls);
+// the baseline's cached ranks are consumed directly by both tests. The
+// metric set is the one captured at PrepareBaseline time; cfg supplies the
+// thresholds.
+func DetectDriftAgainst(baseline *PreparedBaseline, newWindow []Invocation, cfg DriftDetectorConfig) (DriftReport, error) {
+	if baseline == nil {
+		return DriftReport{}, errors.New("monitoring: nil prepared baseline")
+	}
+	cfg = cfg.withDefaults()
+	if baseline.n < 20 || len(newWindow) < 20 {
+		return DriftReport{}, ErrWindowTooSmall
+	}
+	if cap(baseline.scratch) < len(newWindow) {
+		baseline.scratch = make([]float64, len(newWindow))
+	}
+	newS := baseline.scratch[:len(newWindow)]
+	report := DriftReport{Checked: len(baseline.metrics)}
+	for i, id := range baseline.metrics {
+		for j := range newWindow {
+			newS[j] = newWindow[j].Metrics[id]
+		}
+		sort.Float64s(newS)
+		oldS := baseline.sorted[i]
+		res, err := stats.MannWhitneyUPresorted(newS, oldS)
 		if err != nil {
 			return DriftReport{}, err
 		}
 		if res.P >= cfg.Alpha {
 			continue
 		}
-		delta, err := stats.CliffsDelta(newS, oldS)
+		delta, err := stats.CliffsDeltaPresorted(newS, oldS)
 		if err != nil {
 			return DriftReport{}, err
 		}

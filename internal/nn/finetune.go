@@ -2,7 +2,6 @@ package nn
 
 import (
 	"context"
-	"errors"
 	"fmt"
 )
 
@@ -26,16 +25,11 @@ func (n *Network) FrozenLayers() int { return n.frozen }
 // TrainEpochs continues training from the current weights for the given
 // number of epochs (respecting frozen layers) and returns the mean training
 // loss of the final epoch. Unlike Train, it does not reset any state — call
-// it repeatedly for staged training schedules.
+// it repeatedly for staged training schedules. Frozen layers skip backward
+// compute entirely, so a mostly frozen fine-tune costs a fraction of a full
+// backward pass.
 func (n *Network) TrainEpochs(ctx context.Context, x, y [][]float64, epochs int) (float64, error) {
-	if epochs <= 0 {
-		return 0, errors.New("nn: epochs must be positive")
-	}
-	saved := n.cfg.Epochs
-	n.cfg.Epochs = epochs
-	loss, err := n.Train(ctx, x, y)
-	n.cfg.Epochs = saved
-	return loss, err
+	return n.TrainWith(ctx, x, y, epochs, nil)
 }
 
 // LayerCount returns the number of trainable layers (hidden + output).

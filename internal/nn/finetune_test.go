@@ -41,20 +41,20 @@ func TestFrozenLayersDoNotUpdate(t *testing.T) {
 	}
 
 	// Snapshot the frozen layer's weights and a trainable layer's weights.
-	frozenBefore := append([]float64(nil), net.layers[0].w[0]...)
-	trainableBefore := append([]float64(nil), net.layers[2].w[0]...)
+	frozenBefore := append([]float64(nil), net.layers[0].w...)
+	trainableBefore := append([]float64(nil), net.layers[2].w...)
 
 	if _, err := net.TrainEpochs(context.Background(), x, y, 10); err != nil {
 		t.Fatal(err)
 	}
 
-	for i, w := range net.layers[0].w[0] {
+	for i, w := range net.layers[0].w {
 		if w != frozenBefore[i] {
 			t.Fatalf("frozen layer weight changed at %d: %v -> %v", i, frozenBefore[i], w)
 		}
 	}
 	changed := false
-	for i, w := range net.layers[2].w[0] {
+	for i, w := range net.layers[2].w {
 		if w != trainableBefore[i] {
 			changed = true
 			_ = i

@@ -6,10 +6,22 @@
 //
 // The final paper configuration is four hidden layers of 256 neurons,
 // Adam, MAPE loss, 200 epochs, and L2 = 0.01.
+//
+// # Training engine
+//
+// Training runs on a flat-weight, mini-batch GEMM engine: each layer's
+// weights live in one contiguous row-major []float64, and a whole
+// mini-batch moves through the network as a (batch × dim) matrix per
+// layer — a blocked matrix multiply with fused bias+ReLU forward, and a
+// matching batched backward pass. All activations, deltas, gradients, and
+// optimizer moment buffers live in a reusable TrainScratch, so the
+// steady-state epoch loop performs zero allocations. Frozen layers (see
+// SetFrozenLayers) skip backward compute entirely, not just the weight
+// update. See engine.go for the kernels and TrainScratch for the buffer
+// ownership rules.
 package nn
 
 import (
-	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -109,61 +121,60 @@ func (c Config) validate() error {
 	return nil
 }
 
-// dense is one fully connected layer.
+// dense is one fully connected layer. Weights are stored flat in row-major
+// order (w[o*in+i] is the weight from input i to output o), so a whole
+// mini-batch multiplies through one contiguous array instead of chasing
+// per-row slice headers.
 type dense struct {
 	in, out int
-	w       [][]float64 // [out][in]
-	b       []float64   // [out]
-	relu    bool        // apply ReLU after affine (hidden layers only)
+	w       []float64 // out×in, row-major
+	b       []float64 // out
+	relu    bool      // apply ReLU after affine (hidden layers only)
 
-	// optimizer state
-	mW, vW [][]float64
+	// Optimizer moment state, same layout as w/b. Allocated lazily on the
+	// first training step (inference-only networks never pay for it):
+	// mW/mB for Adam's first moment, vW/vB for Adam's and Adagrad's
+	// second moment.
+	mW, vW []float64
 	mB, vB []float64
 }
 
 func newDense(in, out int, relu bool, rng *xrand.Stream) *dense {
 	d := &dense{in: in, out: out, relu: relu}
-	d.w = make([][]float64, out)
-	d.mW = make([][]float64, out)
-	d.vW = make([][]float64, out)
-	// He initialization, appropriate for ReLU networks.
+	d.w = make([]float64, out*in)
+	// He initialization, appropriate for ReLU networks. Draw order is
+	// row-major, matching the original nested-slice layout so a fixed seed
+	// reproduces the same initial weights across engine versions.
 	scale := math.Sqrt(2.0 / float64(in))
-	for o := 0; o < out; o++ {
-		d.w[o] = make([]float64, in)
-		d.mW[o] = make([]float64, in)
-		d.vW[o] = make([]float64, in)
-		for i := 0; i < in; i++ {
-			d.w[o][i] = rng.NormFloat64() * scale
-		}
+	for j := range d.w {
+		d.w[j] = rng.NormFloat64() * scale
 	}
 	d.b = make([]float64, out)
-	d.mB = make([]float64, out)
-	d.vB = make([]float64, out)
 	return d
 }
 
-// forward computes the layer output, also returning the pre-activation z
-// needed by backprop.
-func (d *dense) forward(x []float64) (a, z []float64) {
-	z = make([]float64, d.out)
-	for o := 0; o < d.out; o++ {
-		s := d.b[o]
-		w := d.w[o]
-		for i, xv := range x {
-			s += w[i] * xv
+// row returns output o's weight row.
+func (d *dense) row(o int) []float64 { return d.w[o*d.in : (o+1)*d.in] }
+
+// ensureOptState allocates the moment buffers the optimizer needs. Called
+// at the start of training; repeated calls are no-ops so staged training
+// (TrainEpochs) keeps its accumulated statistics.
+func (n *Network) ensureOptState() {
+	for _, d := range n.layers {
+		switch n.cfg.Optimizer {
+		case Adam:
+			if d.mW == nil {
+				d.mW = make([]float64, len(d.w))
+				d.mB = make([]float64, len(d.b))
+			}
+			fallthrough
+		case Adagrad:
+			if d.vW == nil {
+				d.vW = make([]float64, len(d.w))
+				d.vB = make([]float64, len(d.b))
+			}
 		}
-		z[o] = s
 	}
-	if !d.relu {
-		return z, z
-	}
-	a = make([]float64, d.out)
-	for o, v := range z {
-		if v > 0 {
-			a[o] = v
-		}
-	}
-	return a, z
 }
 
 // Network is a trained or trainable MLP.
@@ -194,14 +205,16 @@ func New(cfg Config) (*Network, error) {
 // Config returns the network's configuration.
 func (n *Network) Config() Config { return n.cfg }
 
-// Predict runs a forward pass for one sample.
+// Predict runs a forward pass for one sample, returning a fresh slice.
 func (n *Network) Predict(x []float64) ([]float64, error) {
 	if len(x) != n.cfg.Inputs {
 		return nil, fmt.Errorf("nn: input has %d features, network expects %d", len(x), n.cfg.Inputs)
 	}
 	a := x
 	for _, l := range n.layers {
-		a, _ = l.forward(a)
+		out := make([]float64, l.out)
+		l.forwardInto(a, out)
+		a = out
 	}
 	return a, nil
 }
@@ -242,14 +255,14 @@ func (n *Network) PredictInto(x []float64, scratch Scratch) ([]float64, error) {
 	return a, nil
 }
 
-// forwardInto computes the layer output into out without allocating.
-// Inference-only: the pre-activation z is not retained. The dot product
-// uses four independent accumulators, breaking the add-latency dependency
-// chain that bounds the naive loop — deterministic, but the reassociated
-// summation may differ from forward() in the last few ULPs.
+// forwardInto computes the layer output for one sample into out without
+// allocating. The dot product uses four independent accumulators, breaking
+// the add-latency dependency chain that bounds the naive loop —
+// deterministic, and identical in summation order to the mini-batch
+// engine's remainder kernel.
 func (d *dense) forwardInto(x, out []float64) {
 	for o := 0; o < d.out; o++ {
-		w := d.w[o]
+		w := d.row(o)
 		var s0, s1, s2, s3 float64
 		n := len(x) &^ 3
 		for i := 0; i < n; i += 4 {
@@ -282,9 +295,17 @@ func (n *Network) PredictBatch(xs [][]float64) ([][]float64, error) {
 	return out, nil
 }
 
-// lossAndGrad returns the per-sample loss and dL/dpred.
+// lossAndGrad returns the per-sample loss and a fresh dL/dpred slice.
 func (n *Network) lossAndGrad(pred, truth []float64) (float64, []float64) {
 	grad := make([]float64, len(pred))
+	loss := n.lossAndGradInto(pred, truth, grad)
+	return loss, grad
+}
+
+// lossAndGradInto computes the per-sample loss, writing dL/dpred into grad
+// (which must be len(pred) long). It is the allocation-free core of the
+// batched loss pass.
+func (n *Network) lossAndGradInto(pred, truth, grad []float64) float64 {
 	var loss float64
 	const eps = 1e-8
 	k := float64(len(pred))
@@ -315,187 +336,7 @@ func (n *Network) lossAndGrad(pred, truth []float64) (float64, []float64) {
 		}
 		loss /= k
 	}
-	return loss, grad
-}
-
-// Train fits the network to (X, Y) and returns the mean training loss of
-// the final epoch. Cancelling ctx stops training at the next epoch
-// boundary and returns the context's error.
-func (n *Network) Train(ctx context.Context, x, y [][]float64) (float64, error) {
-	if len(x) == 0 || len(x) != len(y) {
-		return 0, errors.New("nn: empty or mismatched training data")
-	}
-	for i := range x {
-		if len(x[i]) != n.cfg.Inputs {
-			return 0, fmt.Errorf("nn: sample %d has %d features, want %d", i, len(x[i]), n.cfg.Inputs)
-		}
-		if len(y[i]) != n.cfg.Outputs {
-			return 0, fmt.Errorf("nn: target %d has %d values, want %d", i, len(y[i]), n.cfg.Outputs)
-		}
-	}
-	rng := xrand.New(n.cfg.Seed).Derive("nn-shuffle")
-	var lastLoss float64
-	for epoch := 0; epoch < n.cfg.Epochs; epoch++ {
-		if err := ctx.Err(); err != nil {
-			return lastLoss, fmt.Errorf("nn: training cancelled: %w", err)
-		}
-		perm := rng.Perm(len(x))
-		var epochLoss float64
-		for start := 0; start < len(perm); start += n.cfg.BatchSize {
-			end := start + n.cfg.BatchSize
-			if end > len(perm) {
-				end = len(perm)
-			}
-			batch := perm[start:end]
-			epochLoss += n.trainBatch(x, y, batch)
-		}
-		lastLoss = epochLoss / float64(len(x))
-	}
-	return lastLoss, nil
-}
-
-// trainBatch accumulates gradients over the batch and applies one optimizer
-// step. Returns the summed sample loss.
-func (n *Network) trainBatch(x, y [][]float64, batch []int) float64 {
-	gradW := make([][][]float64, len(n.layers))
-	gradB := make([][]float64, len(n.layers))
-	for li, l := range n.layers {
-		gradW[li] = make([][]float64, l.out)
-		for o := range gradW[li] {
-			gradW[li][o] = make([]float64, l.in)
-		}
-		gradB[li] = make([]float64, l.out)
-	}
-
-	var total float64
-	for _, idx := range batch {
-		// Forward, retaining activations and pre-activations.
-		acts := make([][]float64, len(n.layers)+1)
-		zs := make([][]float64, len(n.layers))
-		acts[0] = x[idx]
-		for li, l := range n.layers {
-			a, z := l.forward(acts[li])
-			acts[li+1] = a
-			zs[li] = z
-		}
-		loss, grad := n.lossAndGrad(acts[len(n.layers)], y[idx])
-		total += loss
-
-		// Backward.
-		delta := grad
-		for li := len(n.layers) - 1; li >= 0; li-- {
-			l := n.layers[li]
-			if l.relu {
-				for o := range delta {
-					if zs[li][o] <= 0 {
-						delta[o] = 0
-					}
-				}
-			}
-			in := acts[li]
-			gw := gradW[li]
-			gb := gradB[li]
-			for o, dv := range delta {
-				if dv == 0 {
-					continue
-				}
-				row := gw[o]
-				for i, iv := range in {
-					row[i] += dv * iv
-				}
-				gb[o] += dv
-			}
-			if li > 0 {
-				prev := make([]float64, l.in)
-				for o, dv := range delta {
-					if dv == 0 {
-						continue
-					}
-					w := l.w[o]
-					for i := range prev {
-						prev[i] += dv * w[i]
-					}
-				}
-				delta = prev
-			}
-		}
-	}
-
-	// Average gradients over the batch and add L2 on weights.
-	bs := float64(len(batch))
-	for li, l := range n.layers {
-		for o := 0; o < l.out; o++ {
-			for i := 0; i < l.in; i++ {
-				gradW[li][o][i] = gradW[li][o][i]/bs + n.cfg.L2*l.w[o][i]
-			}
-			gradB[li][o] /= bs
-		}
-	}
-
-	n.step++
-	n.applyGradients(gradW, gradB)
-	return total
-}
-
-// applyGradients performs one optimizer update.
-func (n *Network) applyGradients(gradW [][][]float64, gradB [][]float64) {
-	lr := n.cfg.LearningRate
-	const (
-		beta1 = 0.9
-		beta2 = 0.999
-		eps   = 1e-8
-	)
-	switch n.cfg.Optimizer {
-	case SGD:
-		for li, l := range n.layers {
-			if li < n.frozen {
-				continue
-			}
-			for o := 0; o < l.out; o++ {
-				for i := 0; i < l.in; i++ {
-					l.w[o][i] -= lr * gradW[li][o][i]
-				}
-				l.b[o] -= lr * gradB[li][o]
-			}
-		}
-	case Adagrad:
-		for li, l := range n.layers {
-			if li < n.frozen {
-				continue
-			}
-			for o := 0; o < l.out; o++ {
-				for i := 0; i < l.in; i++ {
-					g := gradW[li][o][i]
-					l.vW[o][i] += g * g
-					l.w[o][i] -= lr * g / (math.Sqrt(l.vW[o][i]) + eps)
-				}
-				g := gradB[li][o]
-				l.vB[o] += g * g
-				l.b[o] -= lr * g / (math.Sqrt(l.vB[o]) + eps)
-			}
-		}
-	case Adam:
-		t := float64(n.step)
-		c1 := 1 - math.Pow(beta1, t)
-		c2 := 1 - math.Pow(beta2, t)
-		for li, l := range n.layers {
-			if li < n.frozen {
-				continue
-			}
-			for o := 0; o < l.out; o++ {
-				for i := 0; i < l.in; i++ {
-					g := gradW[li][o][i]
-					l.mW[o][i] = beta1*l.mW[o][i] + (1-beta1)*g
-					l.vW[o][i] = beta2*l.vW[o][i] + (1-beta2)*g*g
-					l.w[o][i] -= lr * (l.mW[o][i] / c1) / (math.Sqrt(l.vW[o][i]/c2) + eps)
-				}
-				g := gradB[li][o]
-				l.mB[o] = beta1*l.mB[o] + (1-beta1)*g
-				l.vB[o] = beta2*l.vB[o] + (1-beta2)*g*g
-				l.b[o] -= lr * (l.mB[o] / c1) / (math.Sqrt(l.vB[o]/c2) + eps)
-			}
-		}
-	}
+	return loss
 }
 
 // EvalLoss computes the mean loss of the network's predictions on (X, Y)

@@ -128,54 +128,27 @@ func TestGradientCheck(t *testing.T) {
 			x := [][]float64{{0.5, -0.3, 0.8}}
 			y := [][]float64{{0.7, 1.2}}
 
-			// Capture analytic gradients by running trainBatch with lr=0
-			// (weights unchanged) — recompute them manually instead.
-			gradW := make([][][]float64, len(net.layers))
-			gradB := make([][]float64, len(net.layers))
+			// Analytic gradients straight from the batch engine: run one
+			// trainBatch step and read the averaged gradients out of the
+			// scratch (batch size 1, L2 = 0, so the accumulators hold
+			// exactly dL/dw). The step's weight update is rolled back so
+			// the numeric check runs at the gradient's evaluation point.
+			savedW := make([][]float64, len(net.layers))
+			savedB := make([][]float64, len(net.layers))
 			for li, l := range net.layers {
-				gradW[li] = make([][]float64, l.out)
-				for o := range gradW[li] {
-					gradW[li][o] = make([]float64, l.in)
-				}
-				gradB[li] = make([]float64, l.out)
+				savedW[li] = append([]float64(nil), l.w...)
+				savedB[li] = append([]float64(nil), l.b...)
 			}
-			// Analytic pass (replicating trainBatch's math for one sample).
-			acts := make([][]float64, len(net.layers)+1)
-			zs := make([][]float64, len(net.layers))
-			acts[0] = x[0]
+			ts := NewTrainScratch()
+			ts.ensure(net, 1)
+			net.ensureOptState()
+			net.trainBatch(x, y, []int{0}, ts)
 			for li, l := range net.layers {
-				a, z := l.forward(acts[li])
-				acts[li+1] = a
-				zs[li] = z
-			}
-			_, delta := net.lossAndGrad(acts[len(net.layers)], y[0])
-			for li := len(net.layers) - 1; li >= 0; li-- {
-				l := net.layers[li]
-				if l.relu {
-					for o := range delta {
-						if zs[li][o] <= 0 {
-							delta[o] = 0
-						}
-					}
-				}
-				for o, dv := range delta {
-					for i, iv := range acts[li] {
-						gradW[li][o][i] += dv * iv
-					}
-					gradB[li][o] += dv
-				}
-				if li > 0 {
-					prev := make([]float64, l.in)
-					for o, dv := range delta {
-						for i := range prev {
-							prev[i] += dv * l.w[o][i]
-						}
-					}
-					delta = prev
-				}
+				copy(l.w, savedW[li])
+				copy(l.b, savedB[li])
 			}
 
-			// Numerical check on a sample of weights.
+			// Numerical check on every weight.
 			const h = 1e-6
 			lossAt := func() float64 {
 				pred, err := net.Predict(x[0])
@@ -188,14 +161,14 @@ func TestGradientCheck(t *testing.T) {
 			for li, l := range net.layers {
 				for o := 0; o < l.out; o++ {
 					for i := 0; i < l.in; i++ {
-						orig := l.w[o][i]
-						l.w[o][i] = orig + h
+						orig := l.w[o*l.in+i]
+						l.w[o*l.in+i] = orig + h
 						up := lossAt()
-						l.w[o][i] = orig - h
+						l.w[o*l.in+i] = orig - h
 						down := lossAt()
-						l.w[o][i] = orig
+						l.w[o*l.in+i] = orig
 						numeric := (up - down) / (2 * h)
-						analytic := gradW[li][o][i]
+						analytic := ts.gradW[li][o*l.in+i]
 						if math.Abs(numeric-analytic) > 1e-4*(1+math.Abs(numeric)) {
 							t.Fatalf("layer %d w[%d][%d]: analytic %v vs numeric %v", li, o, i, analytic, numeric)
 						}
@@ -262,10 +235,8 @@ func TestL2ShrinksWeights(t *testing.T) {
 		}
 		var s float64
 		for _, layer := range net.layers {
-			for _, row := range layer.w {
-				for _, w := range row {
-					s += w * w
-				}
+			for _, w := range layer.w {
+				s += w * w
 			}
 		}
 		return s

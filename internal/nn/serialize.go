@@ -7,7 +7,11 @@ import (
 	"io"
 )
 
-// serialized is the on-disk representation of a network.
+// serialized is the on-disk representation of a network. The JSON shape
+// (nested [layer][out][in] weights) predates the flat-weight engine and is
+// kept byte-for-byte compatible: Save re-nests the flat rows and Load
+// flattens them back, so model files written by any engine version load in
+// any other.
 type serialized struct {
 	Config  Config        `json:"config"`
 	Weights [][][]float64 `json:"weights"` // [layer][out][in]
@@ -18,9 +22,9 @@ type serialized struct {
 func (n *Network) Save(w io.Writer) error {
 	s := serialized{Config: n.cfg}
 	for _, l := range n.layers {
-		wCopy := make([][]float64, len(l.w))
-		for o, row := range l.w {
-			wCopy[o] = append([]float64(nil), row...)
+		wCopy := make([][]float64, l.out)
+		for o := range wCopy {
+			wCopy[o] = append([]float64(nil), l.row(o)...)
 		}
 		s.Weights = append(s.Weights, wCopy)
 		s.Biases = append(s.Biases, append([]float64(nil), l.b...))
@@ -51,11 +55,11 @@ func Load(r io.Reader) (*Network, error) {
 		if len(s.Weights[li]) != l.out || len(s.Biases[li]) != l.out {
 			return nil, fmt.Errorf("nn: load: layer %d shape mismatch", li)
 		}
-		for o := range l.w {
+		for o := 0; o < l.out; o++ {
 			if len(s.Weights[li][o]) != l.in {
 				return nil, fmt.Errorf("nn: load: layer %d row %d width mismatch", li, o)
 			}
-			copy(l.w[o], s.Weights[li][o])
+			copy(l.row(o), s.Weights[li][o])
 		}
 		copy(l.b, s.Biases[li])
 	}

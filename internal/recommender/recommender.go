@@ -110,6 +110,12 @@ type functionState struct {
 	// adopted zero-copy from the caller is not owned and must never be
 	// written through; accumulation copies it into owned storage first.
 	pendingOwned bool
+	// baselinePrep caches the baseline window's per-metric sorted ranks so
+	// repeated drift checks on a stationary workload stop re-sorting the
+	// unchanged baseline. Built lazily on the first drift check, dropped
+	// when a recomputation promotes a new baseline. Pure derived data:
+	// rollback never needs to restore it.
+	baselinePrep *monitoring.PreparedBaseline
 }
 
 // shard is one independently locked partition of the fleet.
@@ -271,7 +277,10 @@ func (s *Service) advanceLocked(ctx context.Context, st *functionState) error {
 	if !st.status.HasRecommendation {
 		return s.recomputeLocked(ctx, st, nil)
 	}
-	report, err := monitoring.DetectDrift(st.baseline, st.pending, s.cfg.Drift)
+	if st.baselinePrep == nil {
+		st.baselinePrep = monitoring.PrepareBaseline(st.baseline, s.cfg.Drift)
+	}
+	report, err := monitoring.DetectDriftAgainst(st.baselinePrep, st.pending, s.cfg.Drift)
 	if err != nil {
 		return fmt.Errorf("recommender: %s: %w", st.status.FunctionID, err)
 	}
@@ -314,6 +323,7 @@ func (s *Service) recomputeLocked(ctx context.Context, st *functionState, shifte
 	st.status.Recommendation = rec
 	st.status.LastDrift = shifted
 	st.baseline = st.pending
+	st.baselinePrep = nil // new baseline: sorted ranks rebuilt on next check
 	st.pending = nil
 	st.pendingOwned = false
 	return nil
@@ -332,18 +342,28 @@ func (s *Service) Status(functionID string) (Status, error) {
 }
 
 // Fleet returns the status of every tracked function, in first-seen order.
+// It snapshots shard by shard — each shard's lock is taken exactly once
+// and all of its functions copied in bulk — so a fleet-wide listing costs
+// NumShards lock acquisitions instead of one per function, and concurrent
+// ingestion is never stalled for longer than one shard copy.
 func (s *Service) Fleet() []Status {
 	s.orderMu.Lock()
 	ids := append([]string(nil), s.order...)
 	s.orderMu.Unlock()
-	out := make([]Status, 0, len(ids))
-	for _, id := range ids {
-		sh := &s.shards[s.shardIndex(id)]
+	snap := make(map[string]Status, len(ids))
+	for i := range s.shards {
+		sh := &s.shards[i]
 		sh.mu.Lock()
-		if st, ok := sh.fns[id]; ok {
-			out = append(out, st.status)
+		for id, st := range sh.fns {
+			snap[id] = st.status
 		}
 		sh.mu.Unlock()
+	}
+	out := make([]Status, 0, len(ids))
+	for _, id := range ids {
+		if st, ok := snap[id]; ok {
+			out = append(out, st)
+		}
 	}
 	return out
 }

@@ -29,7 +29,16 @@ func CliffsDelta(x, y []float64) (float64, error) {
 	}
 	ys := append([]float64(nil), y...)
 	sort.Float64s(ys)
+	return CliffsDeltaPresorted(x, ys)
+}
 
+// CliffsDeltaPresorted is CliffsDelta with y already sorted ascending —
+// the repeated-test fast path behind the drift detector's baseline rank
+// cache (x may be in any order). Inputs are not modified.
+func CliffsDeltaPresorted(x, ys []float64) (float64, error) {
+	if len(x) == 0 || len(ys) == 0 {
+		return 0, ErrEmptyInput
+	}
 	var greater, less int64
 	for _, xv := range x {
 		// Number of y strictly below xv.
@@ -39,7 +48,7 @@ func CliffsDelta(x, y []float64) (float64, error) {
 		greater += int64(lo)
 		less += int64(len(ys) - hi)
 	}
-	return float64(greater-less) / (float64(len(x)) * float64(len(y))), nil
+	return float64(greater-less) / (float64(len(x)) * float64(len(ys))), nil
 }
 
 // Magnitude classifies d per the conventional |delta| thresholds.

@@ -27,49 +27,58 @@ type MannWhitneyResult struct {
 // stability analysis compares windows with hundreds to thousands of samples,
 // so this is the appropriate regime.
 func MannWhitneyU(x, y []float64) (MannWhitneyResult, error) {
-	n1, n2 := len(x), len(y)
+	if len(x) == 0 || len(y) == 0 {
+		return MannWhitneyResult{}, ErrEmptyInput
+	}
+	xs := append([]float64(nil), x...)
+	ys := append([]float64(nil), y...)
+	sort.Float64s(xs)
+	sort.Float64s(ys)
+	return MannWhitneyUPresorted(xs, ys)
+}
+
+// MannWhitneyUPresorted is MannWhitneyU over samples the caller has
+// already sorted ascending — the repeated-test fast path behind the drift
+// detector's baseline rank cache: with both sides presorted, the rank sums
+// come from a single linear merge instead of sorting the combined sample
+// on every call. Inputs are not modified; unsorted inputs yield undefined
+// results.
+func MannWhitneyUPresorted(xs, ys []float64) (MannWhitneyResult, error) {
+	n1, n2 := len(xs), len(ys)
 	if n1 == 0 || n2 == 0 {
 		return MannWhitneyResult{}, ErrEmptyInput
 	}
 
-	type obs struct {
-		v     float64
-		group int // 0 for x, 1 for y
-	}
-	all := make([]obs, 0, n1+n2)
-	for _, v := range x {
-		all = append(all, obs{v, 0})
-	}
-	for _, v := range y {
-		all = append(all, obs{v, 1})
-	}
-	sort.Slice(all, func(i, j int) bool { return all[i].v < all[j].v })
-
-	// Assign midranks and accumulate the tie-correction term Σ(t³ - t).
-	ranks := make([]float64, len(all))
-	var tieTerm float64
-	for i := 0; i < len(all); {
-		j := i
-		for j < len(all) && all[j].v == all[i].v {
-			j++
+	// Merge the two sorted samples, accumulating x's midrank sum and the
+	// tie-correction term Σ(t³ - t) over combined tie groups.
+	var r1, tieTerm float64
+	i, j, pos := 0, 0, 0
+	for i < n1 || j < n2 {
+		var v float64
+		if j >= n2 || (i < n1 && xs[i] <= ys[j]) {
+			v = xs[i]
+		} else {
+			v = ys[j]
 		}
-		// Observations i..j-1 are tied; midrank of 1-based ranks i+1..j.
-		mid := float64(i+1+j) / 2
-		for k := i; k < j; k++ {
-			ranks[k] = mid
+		ci := 0
+		for i+ci < n1 && xs[i+ci] == v {
+			ci++
 		}
-		t := float64(j - i)
+		cj := 0
+		for j+cj < n2 && ys[j+cj] == v {
+			cj++
+		}
+		t := ci + cj
+		// Tied observations occupy 1-based ranks pos+1..pos+t.
+		mid := float64(2*pos+1+t) / 2
+		r1 += float64(ci) * mid
 		if t > 1 {
-			tieTerm += t*t*t - t
+			ft := float64(t)
+			tieTerm += ft*ft*ft - ft
 		}
-		i = j
-	}
-
-	var r1 float64
-	for i, o := range all {
-		if o.group == 0 {
-			r1 += ranks[i]
-		}
+		i += ci
+		j += cj
+		pos += t
 	}
 
 	fn1, fn2 := float64(n1), float64(n2)

@@ -72,6 +72,21 @@ func (s *Stream) Int63() int64 { return s.rng.Int63() }
 // Perm returns a random permutation of [0, n).
 func (s *Stream) Perm(n int) []int { return s.rng.Perm(n) }
 
+// PermInto fills dst with a random permutation of [0, len(dst)), drawing
+// exactly the sequence Perm draws for the same length — an allocation-free
+// drop-in for hot loops that shuffle every iteration (the training engine
+// re-permutes the sample order once per epoch).
+func (s *Stream) PermInto(dst []int) {
+	// The i = 0 iteration always swaps dst[0] with itself but still burns
+	// one Intn draw — math/rand.Perm keeps it for Go 1 stream
+	// compatibility, and skipping it here would desynchronize the two.
+	for i := 0; i < len(dst); i++ {
+		j := s.rng.Intn(i + 1)
+		dst[i] = dst[j]
+		dst[j] = i
+	}
+}
+
 // Shuffle pseudo-randomizes the order of n elements via swap.
 func (s *Stream) Shuffle(n int, swap func(i, j int)) { s.rng.Shuffle(n, swap) }
 

@@ -205,3 +205,24 @@ func TestUniformIntRange(t *testing.T) {
 		t.Errorf("inverted range should return lo, got %d", got)
 	}
 }
+
+func TestPermIntoMatchesPerm(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 7, 64, 200} {
+		a := New(77).Derive("perm")
+		b := New(77).Derive("perm")
+		dst := make([]int, n)
+		for round := 0; round < 3; round++ {
+			want := a.Perm(n)
+			b.PermInto(dst)
+			for i := range want {
+				if dst[i] != want[i] {
+					t.Fatalf("n=%d round %d: PermInto[%d] = %d, Perm = %d", n, round, i, dst[i], want[i])
+				}
+			}
+		}
+		// Draw streams stay aligned after repeated use.
+		if n > 0 && a.Int63() != b.Int63() {
+			t.Fatalf("n=%d: streams desynchronized after PermInto", n)
+		}
+	}
+}

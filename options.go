@@ -113,8 +113,11 @@ func WithSizes(sizes ...MemorySize) Option {
 	}
 }
 
-// WithWorkers bounds parallelism for measurement campaigns and batch
-// prediction (0 = GOMAXPROCS).
+// WithWorkers bounds parallelism across the pipeline: measurement
+// campaigns, model training (ensemble members in TrainPredictor and
+// Predictor.Adapt train through a shared worker pool), and batch
+// prediction (0 = GOMAXPROCS). Results never depend on the worker count —
+// every parallel unit derives its own random stream.
 func WithWorkers(n int) Option {
 	return func(c *config) error {
 		if n < 0 {

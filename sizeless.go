@@ -142,6 +142,7 @@ func TrainPredictor(ctx context.Context, ds *Dataset, opts ...Option) (*Predicto
 	if cfg.seed != 0 {
 		mc.Seed = cfg.seed
 	}
+	mc.Workers = cfg.workers
 	model, err := core.Train(ctx, ds, mc)
 	if err != nil {
 		return nil, fmt.Errorf("sizeless: %w", err)
@@ -221,9 +222,10 @@ func (p *Predictor) Adapt(ctx context.Context, ds *Dataset, opts ...Option) (*Pr
 		provider = cfg.provider
 	}
 	fo := core.FineTuneOptions{
-		Epochs: cfg.ftEpochs,
-		Source: p.provider.Name(),
-		Target: provider.Name(),
+		Epochs:  cfg.ftEpochs,
+		Source:  p.provider.Name(),
+		Target:  provider.Name(),
+		Workers: cfg.workers,
 	}
 	if cfg.hasFreeze {
 		fo.FreezeLayers = cfg.freeze
