@@ -10,7 +10,7 @@
 //
 // Experiment ids: fig1 fig3 fig4 fig5 table2 table3 fig6 table4-7 fig7
 // table8 baselines ablation-targets ablation-features ablation-increments
-// transfer transfer-matrix ingest-scale train-scale.
+// transfer transfer-matrix ingest-scale train-scale search-scale.
 //
 // "transfer-matrix" goes beyond the paper: it trains a model per built-in
 // provider and scores every source→target pair under the stale, fine-tuned
@@ -26,6 +26,12 @@
 // second across batch sizes (batch 1 degenerates to per-sample updates)
 // plus the frozen-half fine-tune timing (the trajectory behind
 // BENCH_train.json).
+//
+// "search-scale" measures adaptive model selection: the same
+// hyperparameter grid searched exhaustively (every configuration at full
+// budget) and by successive halving (train 1/4 of the budget, keep the
+// best half, double, repeat), compared on winner quality and total epochs
+// spent (the trajectory behind BENCH_search.json).
 package main
 
 import (
@@ -104,6 +110,9 @@ func runners() []experimentRunner {
 		}},
 		{"train-scale", func(lab *experiments.Lab) (renderable, error) {
 			return experiments.TrainScale(lab)
+		}},
+		{"search-scale", func(lab *experiments.Lab) (renderable, error) {
+			return experiments.SearchScale(lab)
 		}},
 	}
 }

@@ -15,7 +15,10 @@
 // pricing. "adapt" is the §5 migration workflow: it fine-tunes a saved
 // model on a small dataset measured on the target platform and writes an
 // adapted model file bound to that provider (pass -eval test.csv to
-// quantify stale vs adapted accuracy on a held-out target dataset). "demo"
+// quantify stale vs adapted accuracy on a held-out target dataset, and
+// -patience N to early-stop the fine-tune on a validation split instead of
+// burning the whole epoch budget — the guard against overfitting tiny
+// adaptation datasets). "train" and "adapt" both honour -patience/-valsplit. "demo"
 // runs the whole pipeline end-to-end at a small scale on the selected
 // provider. "providers" lists the registered platforms.
 //
@@ -114,7 +117,9 @@ func cmdTrain(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("train", flag.ContinueOnError)
 	dsPath := fs.String("dataset", "dataset.csv", "training dataset CSV (from cmd/harness)")
 	baseMB := fs.Int("base", 256, "monitored base memory size (MB)")
-	epochs := fs.Int("epochs", 200, "training epochs")
+	epochs := fs.Int("epochs", 200, "training epoch budget")
+	patience := fs.Int("patience", 0, "early stopping: stop after this many epochs without validation improvement (0 = train the full budget)")
+	valSplit := fs.Float64("valsplit", 0, "validation split fraction for early stopping (0 = default 0.2 when -patience is set)")
 	out := fs.String("out", "model.json", "output model path")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -127,9 +132,15 @@ func cmdTrain(ctx context.Context, args []string) error {
 	if err != nil {
 		return err
 	}
+	opts := []sizeless.Option{sizeless.WithBase(base), sizeless.WithEpochs(*epochs)}
+	if *patience > 0 {
+		opts = append(opts, sizeless.WithEarlyStopping(*patience))
+	}
+	if *valSplit > 0 {
+		opts = append(opts, sizeless.WithValidationSplit(*valSplit))
+	}
 	start := time.Now()
-	pred, err := sizeless.TrainPredictor(ctx, ds,
-		sizeless.WithBase(base), sizeless.WithEpochs(*epochs))
+	pred, err := sizeless.TrainPredictor(ctx, ds, opts...)
 	if err != nil {
 		return err
 	}
@@ -155,7 +166,8 @@ func cmdEvaluate(ctx context.Context, args []string) error {
 	baseMB := fs.Int("base", 256, "base memory size (MB)")
 	folds := fs.Int("folds", 5, "cross-validation folds")
 	iters := fs.Int("iterations", 1, "cross-validation iterations")
-	epochs := fs.Int("epochs", 200, "training epochs")
+	epochs := fs.Int("epochs", 200, "training epoch budget")
+	patience := fs.Int("patience", 0, "early stopping inside each fold (0 = train the full budget)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -170,6 +182,7 @@ func cmdEvaluate(ctx context.Context, args []string) error {
 	cfg := core.DefaultModelConfig(base)
 	cfg.Sizes = ds.Sizes
 	cfg.Epochs = *epochs
+	cfg.Patience = *patience
 	m, err := core.CrossValidate(ctx, ds, cfg, *folds, *iters, 1)
 	if err != nil {
 		return err
@@ -246,7 +259,9 @@ func cmdAdapt(ctx context.Context, args []string) error {
 	sourceName := fs.String("source", "", "provider the model was trained for (default: the model's recorded provenance, else "+platform.AWSLambdaName+")")
 	providerName := fs.String("provider", "", "target platform provider (default: same as the source)")
 	freeze := fs.Int("freeze", -1, "layers to freeze during fine-tuning (-1 = half the network, 0 = none)")
-	epochs := fs.Int("epochs", 100, "fine-tuning epochs")
+	epochs := fs.Int("epochs", 100, "fine-tuning epoch budget")
+	patience := fs.Int("patience", 0, "early stopping: stop after this many epochs without validation improvement (0 = train the full budget; recommended on tiny adaptation datasets)")
+	valSplit := fs.Float64("valsplit", 0, "validation split fraction for early stopping (0 = default 0.25 when -patience is set)")
 	evalPath := fs.String("eval", "", "optional held-out target dataset CSV: report stale vs adapted accuracy")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -292,6 +307,12 @@ func cmdAdapt(ctx context.Context, args []string) error {
 	if *freeze >= 0 {
 		opts = append(opts, sizeless.WithFreezeLayers(*freeze))
 	}
+	if *patience > 0 {
+		opts = append(opts, sizeless.WithEarlyStopping(*patience))
+	}
+	if *valSplit > 0 {
+		opts = append(opts, sizeless.WithValidationSplit(*valSplit))
+	}
 
 	start := time.Now()
 	adapted, err := pred.Adapt(ctx, ds, opts...)
@@ -310,8 +331,12 @@ func cmdAdapt(ctx context.Context, args []string) error {
 		return err
 	}
 	prov := adapted.Provenance()
-	fmt.Fprintf(os.Stderr, "adapted %s→%s on %d functions (froze %d layers, %d epochs) in %v → %s\n",
-		prov.Source, prov.Target, prov.AdaptRows, prov.FreezeLayers, prov.Epochs,
+	epochsNote := fmt.Sprintf("%d epochs", prov.Epochs)
+	if prov.EarlyStopped {
+		epochsNote = fmt.Sprintf("%d/%d epochs, early-stopped", prov.EpochsSpent, prov.Epochs)
+	}
+	fmt.Fprintf(os.Stderr, "adapted %s→%s on %d functions (froze %d layers, %s) in %v → %s\n",
+		prov.Source, prov.Target, prov.AdaptRows, prov.FreezeLayers, epochsNote,
 		time.Since(start).Round(time.Millisecond), *out)
 
 	if *evalPath != "" {

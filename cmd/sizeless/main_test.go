@@ -45,8 +45,21 @@ func TestTrainEvaluateRecommendPipeline(t *testing.T) {
 	if _, err := os.Stat(modelPath); err != nil {
 		t.Fatalf("model not written: %v", err)
 	}
+	// Early-stopped training is a drop-in flag swap.
+	esPath := filepath.Join(t.TempDir(), "model-es.json")
+	if err := run(ctx, []string{"train", "-dataset", dsPath, "-epochs", "120",
+		"-patience", "10", "-valsplit", "0.2", "-out", esPath}); err != nil {
+		t.Fatalf("train -patience: %v", err)
+	}
+	if _, err := os.Stat(esPath); err != nil {
+		t.Fatalf("early-stopped model not written: %v", err)
+	}
 	if err := run(ctx, []string{"evaluate", "-dataset", dsPath, "-epochs", "30", "-folds", "3"}); err != nil {
 		t.Fatalf("evaluate: %v", err)
+	}
+	if err := run(ctx, []string{"evaluate", "-dataset", dsPath, "-epochs", "60", "-folds", "3",
+		"-patience", "8"}); err != nil {
+		t.Fatalf("evaluate -patience: %v", err)
 	}
 	if err := run(ctx, []string{"recommend", "-model", modelPath, "-dataset", dsPath,
 		"-function", "synthetic-0003", "-t", "0.75"}); err != nil {
@@ -143,6 +156,27 @@ func TestAdaptSubcommand(t *testing.T) {
 	}
 	if got := rePred.Provenance().Source; got != "gcp-cloudfunctions" {
 		t.Errorf("re-adapt source = %q, want provenance-inferred gcp-cloudfunctions", got)
+	}
+
+	// Early stopping via -patience: the adapted file records the cut
+	// budget in its provenance.
+	esPath := filepath.Join(t.TempDir(), "adapted-es.json")
+	if err := run(ctx, []string{"adapt", "-model", modelPath, "-dataset", adaptPath,
+		"-provider", "gcp-cloudfunctions", "-epochs", "60", "-patience", "5",
+		"-valsplit", "0.25", "-out", esPath}); err != nil {
+		t.Fatalf("adapt -patience: %v", err)
+	}
+	ef, err := os.Open(esPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ef.Close()
+	esPred, err := sizeless.LoadPredictor(ef)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prov := esPred.Provenance(); prov.EpochsSpent == 0 || prov.EpochsSpent > 60 {
+		t.Errorf("early-stopped adapt provenance = %+v, want 0 < EpochsSpent <= 60", prov)
 	}
 
 	// Unknown providers and a missing model are rejected.

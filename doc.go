@@ -122,6 +122,23 @@
 // allocs/epoch against the retired per-sample loop; the "train-scale"
 // experiment in cmd/benchreport regenerates the batch-size scaling table.
 //
+// # Adaptive search
+//
+// Epoch budgets are adaptive, not fixed. WithEarlyStopping(patience) (on
+// TrainPredictor and Predictor.Adapt, with WithValidationSplit sizing the
+// held-out fraction) scores a validation split after every epoch, stops
+// once it stagnates for `patience` epochs, and returns the
+// best-validation weights seen — on the small corpora Adapt is designed
+// for, the fixed-budget alternative demonstrably overfits, and the
+// adapted model's Provenance records how many epochs were actually
+// spent. Model selection prunes the same way: core.GridSearchHalving
+// runs successive halving over the Table-2 grid (train 1/4 of the
+// budget, keep the best half by validation MSE, double, repeat),
+// spending half the epochs of the exhaustive sweep for a winner within
+// tolerance of the exhaustive one. BENCH_search.json records that
+// trajectory; the "search-scale" experiment in cmd/benchreport
+// regenerates the comparison.
+//
 // Everything underneath — the platform simulators, the Node.js-like
 // runtime with the 25 Table-1 metrics, the managed-service simulators, the
 // load generator, the measurement harness, the neural network, and the

@@ -42,6 +42,29 @@
 //   - gridsearch.go / pdp.go — the Table 2 hyperparameter search and the
 //     Figure 5 partial-dependence analysis.
 //
+//   - halving.go — GridSearchHalving, the adaptive alternative to the
+//     exhaustive sweep: successive halving over the Table-2 grid (train
+//     1/4 of each configuration's epoch budget, keep the best half by
+//     validation MSE, double the budget, repeat). Survivors train
+//     incrementally on the engine's persistent shuffle stream, so the
+//     search spends half the exhaustive epochs while the final round
+//     scores configurations exactly as continuous full-budget training
+//     would — with elimination disabled (KeepAll) it reproduces the
+//     exhaustive ranking bit-for-bit.
+//
+// # Adaptive search
+//
+// Train, CrossValidate, FineTune, and GridSearchHalving all understand
+// validation-split early stopping: ModelConfig.{ValidationFraction,
+// Patience} (FineTuneOptions carries the same pair) hold rows out, score
+// them after every epoch through nn.TrainWithValidation, and return the
+// best-validation weights rather than the last epoch's. FineTune records
+// the epochs actually spent (and whether patience cut the budget) in the
+// adapted model's Provenance — on tiny adaptation corpora the fixed
+// 100-epoch convention demonstrably overfits, and a patience of ~10
+// recovers the held-out accuracy (see the diagonal-overfit regression
+// test in the public package).
+//
 // Everything here is provider-agnostic: the model predicts execution-time
 // ratios for whatever memory grid it was trained on, and the caller attaches
 // pricing/platform semantics (see internal/platform and the public sizeless

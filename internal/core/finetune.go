@@ -8,6 +8,7 @@ import (
 
 	"sizeless/internal/dataset"
 	"sizeless/internal/features"
+	"sizeless/internal/nn"
 	"sizeless/internal/pool"
 )
 
@@ -22,6 +23,23 @@ type FineTuneOptions struct {
 	FreezeLayers int
 	// Epochs is the retraining budget (default 100).
 	Epochs int
+	// Patience enables early stopping: each ensemble member holds
+	// ValidationFraction of the adaptation rows out, scores them every
+	// epoch, and stops after this many stagnant epochs, keeping its
+	// best-validation weights. Zero trains the full budget — on the tiny
+	// datasets Adapt is built for, that routinely overfits (the diagonal
+	// same-provider fine-tunes of the transfer matrix are the visible
+	// case), so production adaptation should set a patience.
+	Patience int
+	// ValidationFraction is the held-out share of the adaptation dataset
+	// (default 0.25 when Patience is set). Setting it without Patience
+	// runs the full budget but still returns best-validation weights.
+	// Adaptation sets with fewer than two rows fall back to budget
+	// training — there is nothing to hold out.
+	ValidationFraction float64
+	// Seed drives the validation split (default 0; any fixed value is
+	// reproducible).
+	Seed int64
 	// Source and Target label where the model came from and where it is
 	// being adapted to (typically provider names). They are recorded in the
 	// adapted model's Provenance and serialized with it; empty labels are
@@ -47,6 +65,13 @@ type Provenance struct {
 	Epochs int `json:"epochs"`
 	// AdaptRows is the size of the adaptation dataset.
 	AdaptRows int `json:"adapt_rows"`
+	// EpochsSpent is the largest epoch count any ensemble member actually
+	// trained — below Epochs when early stopping cut the budget. Zero in
+	// files written before adaptive search existed.
+	EpochsSpent int `json:"epochs_spent,omitempty"`
+	// EarlyStopped reports whether validation patience ended at least one
+	// member's adaptation before the budget.
+	EarlyStopped bool `json:"early_stopped,omitempty"`
 	// Source and Target are free-form platform labels (usually provider
 	// registry names, e.g. "aws-lambda" → "gcp-cloudfunctions").
 	Source string `json:"source,omitempty"`
@@ -64,6 +89,9 @@ func FineTune(ctx context.Context, m *Model, ds *dataset.Dataset, opts FineTuneO
 	}
 	if opts.Epochs <= 0 {
 		opts.Epochs = 100
+	}
+	if opts.ValidationFraction < 0 || opts.ValidationFraction >= 1 {
+		return nil, fmt.Errorf("core: fine-tune: validation fraction %v outside [0, 1)", opts.ValidationFraction)
 	}
 
 	// Clone via serialization: fresh optimizer state, independent weights.
@@ -103,6 +131,22 @@ func FineTune(ctx context.Context, m *Model, ds *dataset.Dataset, opts FineTuneO
 		return nil, fmt.Errorf("core: fine-tune: %w", err)
 	}
 
+	// Early stopping: hold a slice of the adaptation rows out and let each
+	// member keep its best-validation weights — the guard against the
+	// small-corpus overfitting a full fixed budget produces. An explicit
+	// ValidationFraction without Patience keeps the split active too:
+	// the full budget runs, best-validation weights are still restored
+	// (mirroring Train's contract for the same pair of knobs).
+	trX, trY := xs, y
+	var vaX, vaY [][]float64
+	if opts.Patience > 0 || opts.ValidationFraction > 0 {
+		frac := opts.ValidationFraction
+		if frac <= 0 {
+			frac = 0.25
+		}
+		trX, trY, vaX, vaY = validationSplit(xs, y, frac, opts.Seed)
+	}
+
 	// Every ensemble member shares the mini-batch training engine with
 	// Train: the freeze is applied at the engine level, so frozen layers
 	// skip backward compute entirely. Members adapt independently through
@@ -112,18 +156,36 @@ func FineTune(ctx context.Context, m *Model, ds *dataset.Dataset, opts FineTuneO
 			return nil, fmt.Errorf("core: fine-tune: %w", err)
 		}
 	}
+	stats := make([]nn.TrainStats, len(clone.nets))
 	err = pool.Run(ctx, len(clone.nets), opts.Workers, func(i int) error {
+		if vaX != nil {
+			st, err := clone.nets[i].TrainWithValidation(ctx, trX, trY, opts.Epochs,
+				nn.Validation{X: vaX, Y: vaY, Patience: opts.Patience}, nil)
+			stats[i] = st
+			return err
+		}
 		_, err := clone.nets[i].TrainEpochs(ctx, xs, y, opts.Epochs)
+		stats[i] = nn.TrainStats{EpochsRun: opts.Epochs}
 		return err
 	})
 	if err != nil {
 		return nil, fmt.Errorf("core: fine-tune: %w", err)
+	}
+	spent := 0
+	stopped := false
+	for _, st := range stats {
+		if st.EpochsRun > spent {
+			spent = st.EpochsRun
+		}
+		stopped = stopped || st.EarlyStopped
 	}
 	clone.prov = Provenance{
 		FineTuned:    true,
 		FreezeLayers: freeze,
 		Epochs:       opts.Epochs,
 		AdaptRows:    len(ds.Rows),
+		EpochsSpent:  spent,
+		EarlyStopped: stopped,
 		Source:       opts.Source,
 		Target:       opts.Target,
 	}

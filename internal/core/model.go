@@ -17,6 +17,7 @@ import (
 	"sizeless/internal/nn"
 	"sizeless/internal/platform"
 	"sizeless/internal/pool"
+	"sizeless/internal/xrand"
 )
 
 // ModelConfig describes one trainable model: which base size it monitors,
@@ -49,6 +50,14 @@ type ModelConfig struct {
 	// scheduling knob, not a hyperparameter — results are identical for
 	// any value because every member derives its own seed.
 	Workers int
+	// ValidationFraction holds this fraction of rows out of training as a
+	// per-epoch validation split: every ensemble member returns its
+	// best-validation weights instead of the last epoch's. Zero disables
+	// the split unless Patience is set (then it defaults to 0.2).
+	ValidationFraction float64
+	// Patience stops each member's training after this many consecutive
+	// epochs without validation improvement (0 = train the full budget).
+	Patience int
 }
 
 // DefaultModelConfig returns the paper's final configuration for the given
@@ -89,7 +98,44 @@ func (c ModelConfig) withDefaults() ModelConfig {
 	if c.EnsembleSize <= 0 {
 		c.EnsembleSize = 3
 	}
+	if c.Patience > 0 && c.ValidationFraction <= 0 {
+		c.ValidationFraction = 0.2
+	}
 	return c
+}
+
+// validationSplit partitions already-scaled rows into train/validation
+// subsets by a deterministic permutation derived from the seed. The split
+// is shared by every ensemble member so their validation scores are
+// comparable. Returns the inputs unchanged (no validation) when the
+// fraction is unset or the dataset is too small to hold a row out.
+func validationSplit(x, y [][]float64, frac float64, seed int64) (trX, trY, vaX, vaY [][]float64) {
+	n := len(x)
+	if frac <= 0 || n < 2 {
+		return x, y, nil, nil
+	}
+	nVal := int(math.Round(frac * float64(n)))
+	if nVal < 1 {
+		nVal = 1
+	}
+	if nVal > n-1 {
+		nVal = n - 1
+	}
+	perm := xrand.New(seed).Derive("val-split").Perm(n)
+	trX = make([][]float64, 0, n-nVal)
+	trY = make([][]float64, 0, n-nVal)
+	vaX = make([][]float64, 0, nVal)
+	vaY = make([][]float64, 0, nVal)
+	for i, idx := range perm {
+		if i < nVal {
+			vaX = append(vaX, x[idx])
+			vaY = append(vaY, y[idx])
+		} else {
+			trX = append(trX, x[idx])
+			trY = append(trY, y[idx])
+		}
+	}
+	return trX, trY, vaX, vaY
 }
 
 // Model is a trained execution-time predictor for one base size. It holds
@@ -165,13 +211,30 @@ func Train(ctx context.Context, ds *dataset.Dataset, cfg ModelConfig) (*Model, e
 		return nil, fmt.Errorf("core: %w", err)
 	}
 
-	scaler, err := nn.FitScaler(x)
+	if cfg.ValidationFraction < 0 || cfg.ValidationFraction >= 1 {
+		return nil, fmt.Errorf("core: validation fraction %v outside [0, 1)", cfg.ValidationFraction)
+	}
+
+	// Early stopping: every member trains against the same held-out split
+	// (derived from the model seed, so the split — like everything else —
+	// is reproducible) and keeps its best-validation weights. The split is
+	// taken on the raw rows and the scaler fitted on the training rows
+	// only, so validation scores never leak through the standardization
+	// statistics (and match how GridSearchHalving fits its scaler).
+	trXraw, trY, vaXraw, vaY := validationSplit(x, y, cfg.ValidationFraction, cfg.Seed)
+	scaler, err := nn.FitScaler(trXraw)
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
-	xs, err := scaler.TransformBatch(x)
+	trX, err := scaler.TransformBatch(trXraw)
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
+	}
+	var vaX [][]float64
+	if vaXraw != nil {
+		if vaX, err = scaler.TransformBatch(vaXraw); err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
 	}
 
 	// Ensemble members are independent; train them through the shared
@@ -194,7 +257,13 @@ func Train(ctx context.Context, ds *dataset.Dataset, cfg ModelConfig) (*Model, e
 		if err != nil {
 			return err
 		}
-		if _, err := net.Train(ctx, xs, y); err != nil {
+		if vaX != nil {
+			_, err = net.TrainWithValidation(ctx, trX, trY, net.Config().Epochs,
+				nn.Validation{X: vaX, Y: vaY, Patience: cfg.Patience}, nil)
+		} else {
+			_, err = net.Train(ctx, trX, trY)
+		}
+		if err != nil {
 			return err
 		}
 		nets[e] = net

@@ -1,0 +1,44 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestSearchScale asserts the experiment's headline properties rather than
+// just logging them: successive halving spends at most half the exhaustive
+// epoch budget, and its winner's validation MSE lands within 5% of the
+// exhaustive winner's.
+func TestSearchScale(t *testing.T) {
+	lab := sharedLab(t)
+	res, err := SearchScale(lab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.GridSize != 8 {
+		t.Fatalf("grid size %d, want 8", res.GridSize)
+	}
+	if res.Budget%4 != 0 {
+		t.Errorf("budget %d not divisible by 4 — the halving schedule would round", res.Budget)
+	}
+	if 2*res.HalvingEpochs > res.ExhaustiveEpochs {
+		t.Errorf("halving spent %d epochs, more than half of exhaustive %d",
+			res.HalvingEpochs, res.ExhaustiveEpochs)
+	}
+	if res.WinnerGap > 0.05 {
+		t.Errorf("halving winner val MSE %.1f%% above exhaustive winner, want ≤ 5%%", 100*res.WinnerGap)
+	}
+	if len(res.Rounds) != 3 {
+		t.Fatalf("got %d halving rounds, want 3 (1/4, 1/2, 1)", len(res.Rounds))
+	}
+	if res.Rounds[0].Configs != 8 || res.Rounds[1].Configs != 4 || res.Rounds[2].Configs != 2 {
+		t.Errorf("survivor schedule %d/%d/%d, want 8/4/2",
+			res.Rounds[0].Configs, res.Rounds[1].Configs, res.Rounds[2].Configs)
+	}
+	out := res.Render()
+	for _, want := range []string{"exhaustive", "halving", "epoch ratio", "val MSE", "round"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}

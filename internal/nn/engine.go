@@ -29,10 +29,32 @@ type TrainScratch struct {
 	gradW [][]float64 // per-layer weight-gradient accumulator, out×in
 	gradB [][]float64 // per-layer bias-gradient accumulator, out
 	perm  []int       // epoch shuffle order, len(x)
+
+	// Validation-scoring state (TrainWithValidation only): per-layer
+	// single-sample activations for the per-epoch validation pass, and the
+	// best-validation weight/bias snapshot restored when training ends.
+	valAct [][]float64
+	bestW  [][]float64
+	bestB  [][]float64
 }
 
 // NewTrainScratch returns an empty scratch; buffers grow on first use.
 func NewTrainScratch() *TrainScratch { return &TrainScratch{} }
+
+// ensureVal sizes the validation-pass buffers: per-layer single-sample
+// activations plus the best-weights snapshot. Snapshot space is allocated
+// for every layer (frozen layers are skipped by snapshot/restore, but the
+// scratch is shape-agnostic and reused across networks).
+func (ts *TrainScratch) ensureVal(n *Network) {
+	ts.valAct = growMatrix(ts.valAct, len(n.layers))
+	ts.bestW = growMatrix(ts.bestW, len(n.layers))
+	ts.bestB = growMatrix(ts.bestB, len(n.layers))
+	for li, l := range n.layers {
+		ts.valAct[li] = growFloats(ts.valAct[li], l.out)
+		ts.bestW[li] = growFloats(ts.bestW[li], len(l.w))
+		ts.bestB[li] = growFloats(ts.bestB[li], len(l.b))
+	}
+}
 
 // ensure sizes every buffer for one batch of the network's shape.
 func (ts *TrainScratch) ensure(n *Network, batch int) {
@@ -95,20 +117,57 @@ func (n *Network) TrainWith(ctx context.Context, x, y [][]float64, epochs int, t
 	return n.train(ctx, x, y, epochs, ts)
 }
 
+// shuffleStream returns the network's epoch-shuffle stream, derived from
+// the seed on first use and persisted across training calls. The
+// persistence is what makes staged training (TrainWith in segments) draw
+// the exact permutation sequence of one continuous run — the property the
+// successive-halving search relies on to make "keep-all halving" identical
+// to exhaustive full-budget training.
+func (n *Network) shuffleStream() *xrand.Stream {
+	if n.shuffle == nil {
+		n.shuffle = xrand.New(n.cfg.Seed).Derive("nn-shuffle")
+	}
+	return n.shuffle
+}
+
 // train is the shared epoch loop. The per-epoch permutation draws the same
 // random sequence as the original per-sample engine, so a fixed seed
 // reproduces the same batch composition.
 func (n *Network) train(ctx context.Context, x, y [][]float64, epochs int, ts *TrainScratch) (float64, error) {
+	st, err := n.trainValidate(ctx, x, y, epochs, Validation{}, ts)
+	return st.TrainLoss, err
+}
+
+// trainValidate is the engine's epoch loop with an optional per-epoch
+// validation hook: when v carries a held-out split, every epoch scores it,
+// the best weights seen are snapshotted into the scratch, and training
+// stops early after v.Patience stagnant epochs. On normal return the
+// network holds the best-validation weights; on context cancellation it
+// keeps the last completed epoch's weights (consistent with Train).
+func (n *Network) trainValidate(ctx context.Context, x, y [][]float64, epochs int, v Validation, ts *TrainScratch) (TrainStats, error) {
+	var st TrainStats
 	if len(x) == 0 || len(x) != len(y) {
-		return 0, errors.New("nn: empty or mismatched training data")
+		return st, errors.New("nn: empty or mismatched training data")
 	}
 	for i := range x {
 		if len(x[i]) != n.cfg.Inputs {
-			return 0, fmt.Errorf("nn: sample %d has %d features, want %d", i, len(x[i]), n.cfg.Inputs)
+			return st, fmt.Errorf("nn: sample %d has %d features, want %d", i, len(x[i]), n.cfg.Inputs)
 		}
 		if len(y[i]) != n.cfg.Outputs {
-			return 0, fmt.Errorf("nn: target %d has %d values, want %d", i, len(y[i]), n.cfg.Outputs)
+			return st, fmt.Errorf("nn: target %d has %d values, want %d", i, len(y[i]), n.cfg.Outputs)
 		}
+	}
+	hasVal := len(v.X) > 0
+	if hasVal {
+		if len(v.X) != len(v.Y) {
+			return st, errors.New("nn: mismatched validation data")
+		}
+		for i := range v.X {
+			if len(v.X[i]) != n.cfg.Inputs || len(v.Y[i]) != n.cfg.Outputs {
+				return st, fmt.Errorf("nn: validation sample %d has wrong shape", i)
+			}
+		}
+		ts.ensureVal(n)
 	}
 	n.ensureOptState()
 	batch := n.cfg.BatchSize
@@ -121,11 +180,13 @@ func (n *Network) train(ctx context.Context, x, y [][]float64, epochs int, ts *T
 	} else {
 		ts.perm = ts.perm[:len(x)]
 	}
-	rng := xrand.New(n.cfg.Seed).Derive("nn-shuffle")
-	var lastLoss float64
+	rng := n.shuffleStream()
+	bestVal := math.Inf(1)
+	patienceRef := math.Inf(1)
+	stagnant := 0
 	for epoch := 0; epoch < epochs; epoch++ {
 		if err := ctx.Err(); err != nil {
-			return lastLoss, fmt.Errorf("nn: training cancelled: %w", err)
+			return st, fmt.Errorf("nn: training cancelled: %w", err)
 		}
 		rng.PermInto(ts.perm)
 		var epochLoss float64
@@ -136,9 +197,79 @@ func (n *Network) train(ctx context.Context, x, y [][]float64, epochs int, ts *T
 			}
 			epochLoss += n.trainBatch(x, y, ts.perm[start:end], ts)
 		}
-		lastLoss = epochLoss / float64(len(x))
+		st.TrainLoss = epochLoss / float64(len(x))
+		st.EpochsRun = epoch + 1
+		if !hasVal {
+			continue
+		}
+		valLoss := n.evalWith(v.X, v.Y, ts)
+		if valLoss < bestVal {
+			// Strict-minimum tracking, independent of MinDelta: the
+			// returned network's validation loss is exactly the minimum
+			// observed across all epochs.
+			bestVal = valLoss
+			st.BestEpoch = epoch + 1
+			n.snapshotInto(ts)
+		}
+		if v.Observer != nil {
+			v.Observer(epoch+1, st.TrainLoss, valLoss)
+		}
+		if valLoss < patienceRef-v.MinDelta {
+			patienceRef = valLoss
+			stagnant = 0
+		} else {
+			stagnant++
+			if v.Patience > 0 && stagnant >= v.Patience {
+				st.EarlyStopped = true
+				break
+			}
+		}
 	}
-	return lastLoss, nil
+	if hasVal && st.BestEpoch > 0 {
+		n.restoreFrom(ts)
+		st.ValLoss = bestVal
+	}
+	return st, nil
+}
+
+// evalWith computes the mean loss over (x, y) without training, using the
+// scratch's validation buffers — the allocation-free per-epoch validation
+// pass. Summation order matches EvalLoss exactly, so the two agree
+// bit-for-bit on the same weights.
+func (n *Network) evalWith(x, y [][]float64, ts *TrainScratch) float64 {
+	var total float64
+	for i := range x {
+		a := x[i]
+		for li, l := range n.layers {
+			out := ts.valAct[li][:l.out]
+			l.forwardInto(a, out)
+			a = out
+		}
+		total += n.lossValue(a, y[i])
+	}
+	return total / float64(len(x))
+}
+
+// snapshotInto copies the trainable layers' weights and biases into the
+// scratch's best-weights buffers. Frozen layers never change during a
+// training call, so they are skipped — the fine-tune fast path snapshots
+// only the adapting tail.
+func (n *Network) snapshotInto(ts *TrainScratch) {
+	for li := n.frozen; li < len(n.layers); li++ {
+		l := n.layers[li]
+		copy(ts.bestW[li][:len(l.w)], l.w)
+		copy(ts.bestB[li][:len(l.b)], l.b)
+	}
+}
+
+// restoreFrom writes the snapshotted best weights back into the network,
+// bit-for-bit.
+func (n *Network) restoreFrom(ts *TrainScratch) {
+	for li := n.frozen; li < len(n.layers); li++ {
+		l := n.layers[li]
+		copy(l.w, ts.bestW[li][:len(l.w)])
+		copy(l.b, ts.bestB[li][:len(l.b)])
+	}
 }
 
 // trainBatch pushes one mini-batch through the network as (batch × dim)

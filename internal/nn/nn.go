@@ -19,6 +19,17 @@
 // SetFrozenLayers) skip backward compute entirely, not just the weight
 // update. See engine.go for the kernels and TrainScratch for the buffer
 // ownership rules.
+//
+// TrainWithValidation adds a per-epoch validation hook on top of the same
+// loop: a held-out split is scored after every epoch (allocation-free, via
+// the scratch), the best weights seen are snapshotted, and training stops
+// after a configurable patience — the returned network is the
+// best-validation model, not the last-epoch one. The epoch-shuffle stream
+// persists across training calls, so staged plain-training schedules
+// (TrainWith segments, TrainEpochs, the successive-halving search in
+// internal/core) reproduce a continuous run bit-for-bit; a validated run's
+// best-weights restore ends that equivalence, so it belongs at the end of
+// a schedule.
 package nn
 
 import (
@@ -183,6 +194,12 @@ type Network struct {
 	layers []*dense
 	step   int // Adam timestep
 	frozen int // first `frozen` layers receive no updates
+	// shuffle is the epoch-shuffle stream, created lazily from the seed on
+	// the first training call and persisted across calls so staged
+	// training (TrainWith segments, TrainEpochs) consumes the exact
+	// permutation sequence of one continuous run. Not serialized: a loaded
+	// network starts a fresh stream, as before.
+	shuffle *xrand.Stream
 }
 
 // New constructs a network with randomly initialized weights.
@@ -337,6 +354,33 @@ func (n *Network) lossAndGradInto(pred, truth, grad []float64) float64 {
 		loss /= k
 	}
 	return loss
+}
+
+// lossValue computes the per-sample loss without a gradient, in the exact
+// summation order of lossAndGradInto — the validation-scoring twin.
+func (n *Network) lossValue(pred, truth []float64) float64 {
+	var loss float64
+	const eps = 1e-8
+	switch n.cfg.Loss {
+	case MSE:
+		for i := range pred {
+			d := pred[i] - truth[i]
+			loss += d * d
+		}
+	case MAE:
+		for i := range pred {
+			loss += math.Abs(pred[i] - truth[i])
+		}
+	case MAPE:
+		for i := range pred {
+			denom := math.Abs(truth[i])
+			if denom < eps {
+				denom = eps
+			}
+			loss += math.Abs(pred[i]-truth[i]) / denom
+		}
+	}
+	return loss / float64(len(pred))
 }
 
 // EvalLoss computes the mean loss of the network's predictions on (X, Y)

@@ -36,6 +36,8 @@ type config struct {
 	freeze      int
 	hasFreeze   bool
 	ftEpochs    int
+	patience    int
+	valFrac     float64
 	minWindow   int
 	shards      int
 	drift       monitoring.DriftDetectorConfig
@@ -246,6 +248,38 @@ func WithFineTuneEpochs(n int) Option {
 			return fmt.Errorf("WithFineTuneEpochs: non-positive epochs %d", n)
 		}
 		c.ftEpochs = n
+		return nil
+	}
+}
+
+// WithEarlyStopping enables validation-based early stopping in
+// TrainPredictor and Predictor.Adapt: a held-out validation split is
+// scored after every training epoch, and training stops once the score
+// has not improved for `patience` consecutive epochs. The resulting model
+// keeps the best-validation weights seen, not the last epoch's — on small
+// adaptation datasets this is the difference between adapting and
+// overfitting. The split size comes from WithValidationSplit (default 20%
+// of the rows in TrainPredictor, 25% in Adapt).
+func WithEarlyStopping(patience int) Option {
+	return func(c *config) error {
+		if patience <= 0 {
+			return fmt.Errorf("WithEarlyStopping: non-positive patience %d", patience)
+		}
+		c.patience = patience
+		return nil
+	}
+}
+
+// WithValidationSplit sets the fraction of rows held out as the per-epoch
+// validation split behind WithEarlyStopping. It can also be used alone:
+// training then runs the full epoch budget but still returns the
+// best-validation weights.
+func WithValidationSplit(frac float64) Option {
+	return func(c *config) error {
+		if frac <= 0 || frac >= 1 {
+			return fmt.Errorf("WithValidationSplit: fraction %v outside (0, 1)", frac)
+		}
+		c.valFrac = frac
 		return nil
 	}
 }

@@ -122,7 +122,9 @@ func baseFor(cfg config, sizes []MemorySize) MemorySize {
 // TrainPredictor fits the multi-target regression model (§3.4) on a
 // dataset. WithProvider attaches the pricing/grid used by Recommend;
 // WithBase, WithHidden, WithEpochs, WithEnsembleSize, and WithSeed tune
-// the model. Cancelling ctx aborts training at the next epoch boundary.
+// the model; WithEarlyStopping and WithValidationSplit stop each ensemble
+// member once a held-out split stagnates and keep its best-validation
+// weights. Cancelling ctx aborts training at the next epoch boundary.
 func TrainPredictor(ctx context.Context, ds *Dataset, opts ...Option) (*Predictor, error) {
 	cfg, err := resolve(opts)
 	if err != nil {
@@ -143,6 +145,8 @@ func TrainPredictor(ctx context.Context, ds *Dataset, opts ...Option) (*Predicto
 		mc.Seed = cfg.seed
 	}
 	mc.Workers = cfg.workers
+	mc.Patience = cfg.patience
+	mc.ValidationFraction = cfg.valFrac
 	model, err := core.Train(ctx, ds, mc)
 	if err != nil {
 		return nil, fmt.Errorf("sizeless: %w", err)
@@ -206,7 +210,11 @@ func (p *Predictor) Provenance() Provenance { return p.model.Provenance() }
 // picks the freeze/retrain split (default: half the network) and
 // WithFineTuneEpochs the retraining budget (default 100). The source
 // model's feature scaler is preserved so monitoring summaries stay on the
-// scale the network was trained against.
+// scale the network was trained against. Adaptation datasets are small, so
+// a fixed budget routinely overfits — WithEarlyStopping(patience) holds a
+// WithValidationSplit fraction of the rows out (default 25%), stops once
+// validation stagnates, and keeps the best-validation weights; the
+// returned Provenance records the epochs actually spent.
 //
 // ds must cover the predictor's base size and every size in Sizes(), so a
 // cross-cloud migration needs the model trained on a grid deployable on
@@ -222,10 +230,13 @@ func (p *Predictor) Adapt(ctx context.Context, ds *Dataset, opts ...Option) (*Pr
 		provider = cfg.provider
 	}
 	fo := core.FineTuneOptions{
-		Epochs:  cfg.ftEpochs,
-		Source:  p.provider.Name(),
-		Target:  provider.Name(),
-		Workers: cfg.workers,
+		Epochs:             cfg.ftEpochs,
+		Patience:           cfg.patience,
+		ValidationFraction: cfg.valFrac,
+		Seed:               cfg.seed,
+		Source:             p.provider.Name(),
+		Target:             provider.Name(),
+		Workers:            cfg.workers,
 	}
 	if cfg.hasFreeze {
 		fo.FreezeLayers = cfg.freeze

@@ -354,6 +354,15 @@ func TestOptionValidation(t *testing.T) {
 	if _, err := sizeless.GenerateDataset(ctx, sizeless.WithFunctions(1), sizeless.WithShards(-4)); err == nil {
 		t.Error("negative shard count should error")
 	}
+	if _, err := sizeless.GenerateDataset(ctx, sizeless.WithFunctions(1), sizeless.WithEarlyStopping(0)); err == nil {
+		t.Error("non-positive patience should error")
+	}
+	if _, err := sizeless.GenerateDataset(ctx, sizeless.WithFunctions(1), sizeless.WithValidationSplit(1)); err == nil {
+		t.Error("validation split of 1 should error")
+	}
+	if _, err := sizeless.GenerateDataset(ctx, sizeless.WithFunctions(1), sizeless.WithValidationSplit(-0.2)); err == nil {
+		t.Error("negative validation split should error")
+	}
 }
 
 // TestServiceShardedFleetIngest drives the public fleet path: a sharded
@@ -648,5 +657,106 @@ func TestAdaptOptionValidation(t *testing.T) {
 	}
 	if _, err := pred.Adapt(context.Background(), ds, sizeless.WithFineTuneEpochs(0)); err == nil {
 		t.Error("zero fine-tune epochs should error")
+	}
+}
+
+// TestAdaptEarlyStoppingCurbsDiagonalOverfit is the regression test for
+// the tiny-corpus overfit: adapting a predictor to a small dataset from
+// the *same* provider (a diagonal pair of the transfer matrix) with the
+// full fixed 100-epoch budget degrades held-out accuracy relative to the
+// stale model — there is no platform change to learn, so every epoch past
+// convergence just memorizes the tiny corpus. With WithEarlyStopping the
+// stale-vs-adapted gap must shrink, and the recorded provenance must show
+// the budget was actually cut.
+func TestAdaptEarlyStoppingCurbsDiagonalOverfit(t *testing.T) {
+	ctx := context.Background()
+	pred := quickPredictor(t)
+	holdout := quickDataset(t)
+
+	// A tiny same-provider adaptation corpus, disjoint from the training
+	// and holdout data by seed.
+	tiny, err := sizeless.GenerateDataset(ctx,
+		sizeless.WithFunctions(10),
+		sizeless.WithRate(10),
+		sizeless.WithDuration(4*time.Second),
+		sizeless.WithSeed(77),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stale, err := pred.Evaluate(holdout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixed, err := pred.Adapt(ctx, tiny, sizeless.WithFineTuneEpochs(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stopped, err := pred.Adapt(ctx, tiny,
+		sizeless.WithFineTuneEpochs(100),
+		sizeless.WithEarlyStopping(10),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fixedEval, err := fixed.Evaluate(holdout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stoppedEval, err := stopped.Evaluate(holdout)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The overfit gap (adapted minus stale on held-out MAPE; positive =
+	// adaptation hurt) must shrink with early stopping on.
+	fixedGap := fixedEval.MAPE - stale.MAPE
+	stoppedGap := stoppedEval.MAPE - stale.MAPE
+	if stoppedGap >= fixedGap {
+		t.Errorf("early stopping did not shrink the diagonal overfit gap: fixed %+.4f vs stopped %+.4f (stale MAPE %.4f)",
+			fixedGap, stoppedGap, stale.MAPE)
+	}
+
+	// Provenance records the cut: fewer epochs than the budget, flagged as
+	// early-stopped; the fixed-budget run spent it all.
+	if prov := stopped.Provenance(); !prov.EarlyStopped || prov.EpochsSpent >= 100 || prov.EpochsSpent == 0 {
+		t.Errorf("early-stopped provenance = %+v, want EarlyStopped with 0 < EpochsSpent < 100", prov)
+	}
+	if prov := fixed.Provenance(); prov.EarlyStopped || prov.EpochsSpent != 100 {
+		t.Errorf("fixed-budget provenance = %+v, want EpochsSpent == 100", prov)
+	}
+
+	// WithValidationSplit alone (no patience) must still activate the
+	// split: the full budget runs, but best-validation weights are
+	// restored, so the result differs from the fixed-budget adapt.
+	valOnly, err := pred.Adapt(ctx, tiny,
+		sizeless.WithFineTuneEpochs(100),
+		sizeless.WithValidationSplit(0.25),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prov := valOnly.Provenance(); prov.EarlyStopped || prov.EpochsSpent != 100 {
+		t.Errorf("val-split-only provenance = %+v, want full budget without early stop", prov)
+	}
+	s := holdout.Rows[0].Summaries[pred.Base()]
+	fixedPred, err := fixed.Predict(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	valPred, err := valOnly.Predict(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for m, v := range fixedPred {
+		if valPred[m] != v {
+			same = false
+		}
+	}
+	if same {
+		t.Error("WithValidationSplit alone was a no-op: predictions identical to the fixed-budget adapt")
 	}
 }
