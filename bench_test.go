@@ -49,14 +49,15 @@ var (
 func lab(b *testing.B) *experiments.Lab {
 	b.Helper()
 	benchLabOnce.Do(func() {
+		ctx := context.Background()
 		benchLab = experiments.NewLab(experiments.SmallScale())
-		if _, err := benchLab.Dataset(); err != nil {
+		if _, err := benchLab.Dataset(ctx); err != nil {
 			b.Fatal(err)
 		}
-		if _, err := benchLab.Models(platform.Mem128, platform.Mem256); err != nil {
+		if _, err := benchLab.Models(ctx, platform.Mem128, platform.Mem256); err != nil {
 			b.Fatal(err)
 		}
-		if _, err := benchLab.CaseStudies(); err != nil {
+		if _, err := benchLab.CaseStudies(ctx); err != nil {
 			b.Fatal(err)
 		}
 	})
@@ -64,11 +65,12 @@ func lab(b *testing.B) *experiments.Lab {
 }
 
 // runExperiment benches one experiment runner.
-func runExperiment(b *testing.B, run func(l *experiments.Lab) (interface{ Render() string }, error)) {
+func runExperiment(b *testing.B, run func(ctx context.Context, l *experiments.Lab) (interface{ Render() string }, error)) {
 	l := lab(b)
+	ctx := context.Background()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := run(l)
+		res, err := run(ctx, l)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -79,86 +81,86 @@ func runExperiment(b *testing.B, run func(l *experiments.Lab) (interface{ Render
 }
 
 func BenchmarkFig1MotivatingExample(b *testing.B) {
-	runExperiment(b, func(l *experiments.Lab) (interface{ Render() string }, error) {
-		return experiments.MotivatingExample(l)
+	runExperiment(b, func(ctx context.Context, l *experiments.Lab) (interface{ Render() string }, error) {
+		return experiments.MotivatingExample(ctx, l)
 	})
 }
 
 func BenchmarkFig3Stability(b *testing.B) {
-	runExperiment(b, func(l *experiments.Lab) (interface{ Render() string }, error) {
-		return experiments.StabilityAnalysis(l)
+	runExperiment(b, func(ctx context.Context, l *experiments.Lab) (interface{ Render() string }, error) {
+		return experiments.StabilityAnalysis(ctx, l)
 	})
 }
 
 func BenchmarkFig4FeatureSelection(b *testing.B) {
-	runExperiment(b, func(l *experiments.Lab) (interface{ Render() string }, error) {
-		return experiments.FeatureSelection(l, platform.Mem256, 5, 5, 5)
+	runExperiment(b, func(ctx context.Context, l *experiments.Lab) (interface{ Render() string }, error) {
+		return experiments.FeatureSelection(ctx, l, platform.Mem256, 5, 5, 5)
 	})
 }
 
 func BenchmarkFig5PartialDependence(b *testing.B) {
-	runExperiment(b, func(l *experiments.Lab) (interface{ Render() string }, error) {
-		return experiments.PartialDependencePlots(l, 7)
+	runExperiment(b, func(ctx context.Context, l *experiments.Lab) (interface{ Render() string }, error) {
+		return experiments.PartialDependencePlots(ctx, l, 7)
 	})
 }
 
 func BenchmarkTable2GridSearch(b *testing.B) {
-	runExperiment(b, func(l *experiments.Lab) (interface{ Render() string }, error) {
-		return experiments.GridSearchTable(l, nil, 3)
+	runExperiment(b, func(ctx context.Context, l *experiments.Lab) (interface{ Render() string }, error) {
+		return experiments.GridSearchTable(ctx, l, nil, 3)
 	})
 }
 
 func BenchmarkTable3CrossValidation(b *testing.B) {
-	runExperiment(b, func(l *experiments.Lab) (interface{ Render() string }, error) {
-		return experiments.CrossValidationTable(l, 3, 1)
+	runExperiment(b, func(ctx context.Context, l *experiments.Lab) (interface{ Render() string }, error) {
+		return experiments.CrossValidationTable(ctx, l, 3, 1)
 	})
 }
 
 func BenchmarkFig6CaseStudyPredictions(b *testing.B) {
-	runExperiment(b, func(l *experiments.Lab) (interface{ Render() string }, error) {
-		return experiments.CaseStudyPredictions(l, nil)
+	runExperiment(b, func(ctx context.Context, l *experiments.Lab) (interface{ Render() string }, error) {
+		return experiments.CaseStudyPredictions(ctx, l, nil)
 	})
 }
 
 func BenchmarkTable4to7PredictionErrors(b *testing.B) {
-	runExperiment(b, func(l *experiments.Lab) (interface{ Render() string }, error) {
-		return experiments.PredictionErrors(l)
+	runExperiment(b, func(ctx context.Context, l *experiments.Lab) (interface{ Render() string }, error) {
+		return experiments.PredictionErrors(ctx, l)
 	})
 }
 
 func BenchmarkFig7SelectionRanking(b *testing.B) {
-	runExperiment(b, func(l *experiments.Lab) (interface{ Render() string }, error) {
-		return experiments.SelectionRanking(l)
+	runExperiment(b, func(ctx context.Context, l *experiments.Lab) (interface{ Render() string }, error) {
+		return experiments.SelectionRanking(ctx, l)
 	})
 }
 
 func BenchmarkTable8CostSavings(b *testing.B) {
-	runExperiment(b, func(l *experiments.Lab) (interface{ Render() string }, error) {
-		return experiments.SavingsSpeedup(l)
+	runExperiment(b, func(ctx context.Context, l *experiments.Lab) (interface{ Render() string }, error) {
+		return experiments.SavingsSpeedup(ctx, l)
 	})
 }
 
 func BenchmarkBaselines(b *testing.B) {
-	runExperiment(b, func(l *experiments.Lab) (interface{ Render() string }, error) {
-		return experiments.BaselineComparison(l)
+	runExperiment(b, func(ctx context.Context, l *experiments.Lab) (interface{ Render() string }, error) {
+		return experiments.BaselineComparison(ctx, l)
 	})
 }
 
 func BenchmarkAblationTargets(b *testing.B) {
-	runExperiment(b, func(l *experiments.Lab) (interface{ Render() string }, error) {
-		return experiments.AblationTargets(l, 3)
+	runExperiment(b, func(ctx context.Context, l *experiments.Lab) (interface{ Render() string }, error) {
+		return experiments.AblationTargets(ctx, l, 3)
 	})
 }
 
 func BenchmarkAblationFeatures(b *testing.B) {
-	runExperiment(b, func(l *experiments.Lab) (interface{ Render() string }, error) {
-		return experiments.AblationFeatures(l, 3)
+	runExperiment(b, func(ctx context.Context, l *experiments.Lab) (interface{ Render() string }, error) {
+		return experiments.AblationFeatures(ctx, l, 3)
 	})
 }
 
 func BenchmarkAblationIncrements(b *testing.B) {
-	runExperiment(b, func(l *experiments.Lab) (interface{ Render() string }, error) {
-		return experiments.AblationIncrements(l)
+	runExperiment(b, func(ctx context.Context, l *experiments.Lab) (interface{ Render() string }, error) {
+		return experiments.AblationIncrements(ctx, l)
 	})
 }
 
@@ -252,11 +254,11 @@ func BenchmarkNNTrainingEpoch(b *testing.B) {
 // cost of a provider-side recommender sweep).
 func BenchmarkModelPredict(b *testing.B) {
 	l := lab(b)
-	model, err := l.Model(platform.Mem256)
+	model, err := l.Model(context.Background(), platform.Mem256)
 	if err != nil {
 		b.Fatal(err)
 	}
-	ds, err := l.Dataset()
+	ds, err := l.Dataset(context.Background())
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -319,7 +321,7 @@ func BenchmarkHarnessMeasure(b *testing.B) {
 // BenchmarkDatasetCSVRoundTrip measures dataset persistence.
 func BenchmarkDatasetCSVRoundTrip(b *testing.B) {
 	l := lab(b)
-	ds, err := l.Dataset()
+	ds, err := l.Dataset(context.Background())
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -345,7 +347,7 @@ func (w *writeCounter) Write(p []byte) (int, error) {
 // of one for comparability) on the shared small dataset.
 func BenchmarkCoreTraining(b *testing.B) {
 	l := lab(b)
-	ds, err := l.Dataset()
+	ds, err := l.Dataset(context.Background())
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -367,8 +369,8 @@ var _ = dataset.New // keep the import for documentation cross-reference
 // BenchmarkTransferLearning measures the A5 extension experiment: adapt the
 // model to a platform change by fine-tuning on a small new dataset.
 func BenchmarkTransferLearning(b *testing.B) {
-	runExperiment(b, func(l *experiments.Lab) (interface{ Render() string }, error) {
-		return experiments.TransferLearning(l)
+	runExperiment(b, func(ctx context.Context, l *experiments.Lab) (interface{ Render() string }, error) {
+		return experiments.TransferLearning(ctx, l)
 	})
 }
 
@@ -377,7 +379,7 @@ func BenchmarkTransferLearning(b *testing.B) {
 func batchSummaries(b *testing.B, n int) []monitoring.Summary {
 	b.Helper()
 	l := lab(b)
-	ds, err := l.Dataset()
+	ds, err := l.Dataset(context.Background())
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -392,7 +394,7 @@ func batchSummaries(b *testing.B, n int) []monitoring.Summary {
 // summary — the baseline PredictBatch must beat.
 func BenchmarkPredictLoop(b *testing.B) {
 	l := lab(b)
-	model, err := l.Model(platform.Mem256)
+	model, err := l.Model(context.Background(), platform.Mem256)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -413,7 +415,7 @@ func BenchmarkPredictLoop(b *testing.B) {
 // recommender).
 func BenchmarkPredictBatch(b *testing.B) {
 	l := lab(b)
-	model, err := l.Model(platform.Mem256)
+	model, err := l.Model(context.Background(), platform.Mem256)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -440,7 +442,7 @@ const (
 // prediction, and optimization.
 func benchIngestBatch(b *testing.B, shards, workers int) {
 	l := lab(b)
-	model, err := l.Model(platform.Mem256)
+	model, err := l.Model(context.Background(), platform.Mem256)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -485,7 +487,7 @@ func BenchmarkIngestBatchOneShard(b *testing.B) { benchIngestBatch(b, 1, 1) }
 // the true improvement over the seed.
 func BenchmarkIngestBatchSequential(b *testing.B) {
 	l := lab(b)
-	model, err := l.Model(platform.Mem256)
+	model, err := l.Model(context.Background(), platform.Mem256)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -550,11 +552,11 @@ func seedSummarize(invs []monitoring.Invocation) monitoring.Summary {
 // backward compute entirely).
 func BenchmarkFineTune(b *testing.B) {
 	l := lab(b)
-	model, err := l.Model(platform.Mem256)
+	model, err := l.Model(context.Background(), platform.Mem256)
 	if err != nil {
 		b.Fatal(err)
 	}
-	ds, err := l.Dataset()
+	ds, err := l.Dataset(context.Background())
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -578,7 +580,7 @@ func BenchmarkFineTune(b *testing.B) {
 // consumer of the mini-batch engine.
 func BenchmarkGridSearch(b *testing.B) {
 	l := lab(b)
-	ds, err := l.Dataset()
+	ds, err := l.Dataset(context.Background())
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -610,7 +612,7 @@ func BenchmarkGridSearch(b *testing.B) {
 // internal/monitoring isolate the detector-level delta.
 func BenchmarkFleetDriftStationary(b *testing.B) {
 	l := lab(b)
-	model, err := l.Model(platform.Mem256)
+	model, err := l.Model(context.Background(), platform.Mem256)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -644,7 +646,7 @@ func BenchmarkFleetDriftStationary(b *testing.B) {
 // function runs the drift detector and a recomputation.
 func BenchmarkFleetDrift(b *testing.B) {
 	l := lab(b)
-	model, err := l.Model(platform.Mem256)
+	model, err := l.Model(context.Background(), platform.Mem256)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -680,7 +682,7 @@ func benchSearchGrid() core.GridSpec {
 
 func benchSearchBase(b *testing.B) (*dataset.Dataset, core.ModelConfig) {
 	l := lab(b)
-	ds, err := l.Dataset()
+	ds, err := l.Dataset(context.Background())
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -730,7 +732,7 @@ func BenchmarkGridSearchHalving(b *testing.B) {
 // BenchmarkSearchScale regenerates the search-scale experiment (exhaustive
 // vs halving comparison) at lab scale.
 func BenchmarkSearchScale(b *testing.B) {
-	runExperiment(b, func(l *experiments.Lab) (interface{ Render() string }, error) {
-		return experiments.SearchScale(l)
+	runExperiment(b, func(ctx context.Context, l *experiments.Lab) (interface{ Render() string }, error) {
+		return experiments.SearchScale(ctx, l)
 	})
 }

@@ -35,10 +35,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
 	"time"
 
@@ -49,82 +51,86 @@ import (
 // renderable is what every experiment result provides.
 type renderable interface{ Render() string }
 
-// experimentRunner produces one report section.
+// experimentRunner produces one report section. Every runner takes the
+// report's context so ^C stops a multi-hour campaign between experiments
+// and inside the harness fan-outs.
 type experimentRunner struct {
 	id  string
-	run func(lab *experiments.Lab) (renderable, error)
+	run func(ctx context.Context, lab *experiments.Lab) (renderable, error)
 }
 
 func runners() []experimentRunner {
 	return []experimentRunner{
-		{"fig1", func(lab *experiments.Lab) (renderable, error) {
-			return experiments.MotivatingExample(lab)
+		{"fig1", func(ctx context.Context, lab *experiments.Lab) (renderable, error) {
+			return experiments.MotivatingExample(ctx, lab)
 		}},
-		{"fig3", func(lab *experiments.Lab) (renderable, error) {
-			return experiments.StabilityAnalysis(lab)
+		{"fig3", func(ctx context.Context, lab *experiments.Lab) (renderable, error) {
+			return experiments.StabilityAnalysis(ctx, lab)
 		}},
-		{"fig4", func(lab *experiments.Lab) (renderable, error) {
-			return experiments.FeatureSelection(lab, platform.Mem256, 8, 8, 8)
+		{"fig4", func(ctx context.Context, lab *experiments.Lab) (renderable, error) {
+			return experiments.FeatureSelection(ctx, lab, platform.Mem256, 8, 8, 8)
 		}},
-		{"fig5", func(lab *experiments.Lab) (renderable, error) {
-			return experiments.PartialDependencePlots(lab, 9)
+		{"fig5", func(ctx context.Context, lab *experiments.Lab) (renderable, error) {
+			return experiments.PartialDependencePlots(ctx, lab, 9)
 		}},
-		{"table2", func(lab *experiments.Lab) (renderable, error) {
-			return experiments.GridSearchTable(lab, nil, 3)
+		{"table2", func(ctx context.Context, lab *experiments.Lab) (renderable, error) {
+			return experiments.GridSearchTable(ctx, lab, nil, 3)
 		}},
-		{"table3", func(lab *experiments.Lab) (renderable, error) {
-			return experiments.CrossValidationTable(lab, 5, 1)
+		{"table3", func(ctx context.Context, lab *experiments.Lab) (renderable, error) {
+			return experiments.CrossValidationTable(ctx, lab, 5, 1)
 		}},
-		{"fig6", func(lab *experiments.Lab) (renderable, error) {
-			return experiments.CaseStudyPredictions(lab, nil)
+		{"fig6", func(ctx context.Context, lab *experiments.Lab) (renderable, error) {
+			return experiments.CaseStudyPredictions(ctx, lab, nil)
 		}},
-		{"table4-7", func(lab *experiments.Lab) (renderable, error) {
-			return experiments.PredictionErrors(lab)
+		{"table4-7", func(ctx context.Context, lab *experiments.Lab) (renderable, error) {
+			return experiments.PredictionErrors(ctx, lab)
 		}},
-		{"fig7", func(lab *experiments.Lab) (renderable, error) {
-			return experiments.SelectionRanking(lab)
+		{"fig7", func(ctx context.Context, lab *experiments.Lab) (renderable, error) {
+			return experiments.SelectionRanking(ctx, lab)
 		}},
-		{"table8", func(lab *experiments.Lab) (renderable, error) {
-			return experiments.SavingsSpeedup(lab)
+		{"table8", func(ctx context.Context, lab *experiments.Lab) (renderable, error) {
+			return experiments.SavingsSpeedup(ctx, lab)
 		}},
-		{"baselines", func(lab *experiments.Lab) (renderable, error) {
-			return experiments.BaselineComparison(lab)
+		{"baselines", func(ctx context.Context, lab *experiments.Lab) (renderable, error) {
+			return experiments.BaselineComparison(ctx, lab)
 		}},
-		{"ablation-targets", func(lab *experiments.Lab) (renderable, error) {
-			return experiments.AblationTargets(lab, 3)
+		{"ablation-targets", func(ctx context.Context, lab *experiments.Lab) (renderable, error) {
+			return experiments.AblationTargets(ctx, lab, 3)
 		}},
-		{"ablation-features", func(lab *experiments.Lab) (renderable, error) {
-			return experiments.AblationFeatures(lab, 3)
+		{"ablation-features", func(ctx context.Context, lab *experiments.Lab) (renderable, error) {
+			return experiments.AblationFeatures(ctx, lab, 3)
 		}},
-		{"ablation-increments", func(lab *experiments.Lab) (renderable, error) {
-			return experiments.AblationIncrements(lab)
+		{"ablation-increments", func(ctx context.Context, lab *experiments.Lab) (renderable, error) {
+			return experiments.AblationIncrements(ctx, lab)
 		}},
-		{"transfer", func(lab *experiments.Lab) (renderable, error) {
-			return experiments.TransferLearning(lab)
+		{"transfer", func(ctx context.Context, lab *experiments.Lab) (renderable, error) {
+			return experiments.TransferLearning(ctx, lab)
 		}},
-		{"transfer-matrix", func(lab *experiments.Lab) (renderable, error) {
-			return experiments.TransferMatrix(lab)
+		{"transfer-matrix", func(ctx context.Context, lab *experiments.Lab) (renderable, error) {
+			return experiments.TransferMatrix(ctx, lab)
 		}},
-		{"ingest-scale", func(lab *experiments.Lab) (renderable, error) {
-			return experiments.IngestScale(lab)
+		{"ingest-scale", func(ctx context.Context, lab *experiments.Lab) (renderable, error) {
+			return experiments.IngestScale(ctx, lab)
 		}},
-		{"train-scale", func(lab *experiments.Lab) (renderable, error) {
-			return experiments.TrainScale(lab)
+		{"train-scale", func(ctx context.Context, lab *experiments.Lab) (renderable, error) {
+			return experiments.TrainScale(ctx, lab)
 		}},
-		{"search-scale", func(lab *experiments.Lab) (renderable, error) {
-			return experiments.SearchScale(lab)
+		{"search-scale", func(ctx context.Context, lab *experiments.Lab) (renderable, error) {
+			return experiments.SearchScale(ctx, lab)
 		}},
 	}
 }
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "benchreport:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, out io.Writer) error {
+func run(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("benchreport", flag.ContinueOnError)
 	scaleName := fs.String("scale", "small", "experiment scale: small, medium, or full")
 	runList := fs.String("run", "all", "comma-separated experiment ids, or 'all'")
@@ -163,7 +169,7 @@ func run(args []string, out io.Writer) error {
 			continue
 		}
 		start := time.Now()
-		res, err := r.run(lab)
+		res, err := r.run(ctx, lab)
 		if err != nil {
 			return fmt.Errorf("%s: %w", r.id, err)
 		}

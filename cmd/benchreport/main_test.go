@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -21,10 +22,10 @@ func TestKnownIDs(t *testing.T) {
 
 func TestRunRejectsBadFlags(t *testing.T) {
 	var out strings.Builder
-	if err := run([]string{"-scale", "gigantic"}, &out); err == nil {
+	if err := run(context.Background(), []string{"-scale", "gigantic"}, &out); err == nil {
 		t.Error("unknown scale should error")
 	}
-	if err := run([]string{"-run", "fig99"}, &out); err == nil {
+	if err := run(context.Background(), []string{"-run", "fig99"}, &out); err == nil {
 		t.Error("unknown experiment id should error")
 	}
 }
@@ -34,7 +35,7 @@ func TestRunSingleExperiment(t *testing.T) {
 		t.Skip("runs a small measurement campaign")
 	}
 	var out strings.Builder
-	if err := run([]string{"-scale", "small", "-run", "fig1"}, &out); err != nil {
+	if err := run(context.Background(), []string{"-scale", "small", "-run", "fig1"}, &out); err != nil {
 		t.Fatal(err)
 	}
 	report := out.String()

@@ -60,6 +60,7 @@ func GenerateDatasetFromConfig(cfg DatasetConfig) (*Dataset, error) {
 	if cfg.Functions <= 0 {
 		return nil, errors.New("sizeless: DatasetConfig.Functions must be positive")
 	}
+	//lint:ignore ctxflow deprecated pre-context shim; its documented contract is uncancellable, callers wanting cancellation use GenerateDataset(ctx, ...)
 	return GenerateDataset(context.Background(), cfg.options()...)
 }
 
@@ -95,6 +96,7 @@ func (c PredictorConfig) options() []Option {
 //
 // Deprecated: use TrainPredictor(ctx, ds, opts...).
 func TrainPredictorFromConfig(ds *Dataset, cfg PredictorConfig) (*Predictor, error) {
+	//lint:ignore ctxflow deprecated pre-context shim; its documented contract is uncancellable, callers wanting cancellation use TrainPredictor(ctx, ...)
 	return TrainPredictor(context.Background(), ds, cfg.options()...)
 }
 
@@ -132,6 +134,7 @@ func (c MonitorConfig) options() []Option {
 //
 // Deprecated: use MonitorFunction(ctx, spec, opts...).
 func MonitorFunctionFromConfig(spec *workload.Spec, cfg MonitorConfig) (Summary, error) {
+	//lint:ignore ctxflow deprecated pre-context shim; its documented contract is uncancellable, callers wanting cancellation use MonitorFunction(ctx, ...)
 	return MonitorFunction(context.Background(), spec, cfg.options()...)
 }
 

@@ -139,6 +139,17 @@
 // trajectory; the "search-scale" experiment in cmd/benchreport
 // regenerates the comparison.
 //
+// # Static analysis
+//
+// The invariants these engines rest on — bounded fan-out, pooled scratch
+// that never escapes its function, seed-reproducible randomness, context
+// propagation, and the recommender's shard-lock discipline — are
+// machine-enforced by an in-repo analyzer suite (internal/analysis, run
+// by cmd/sizelessvet standalone or as a go vet -vettool). Deliberate
+// exceptions are suppressed in source with
+// "//lint:ignore <analyzer> <reason>", so every exception is grepable and
+// carries its justification. CI runs the suite on every push.
+//
 // Everything underneath — the platform simulators, the Node.js-like
 // runtime with the 25 Table-1 metrics, the managed-service simulators, the
 // load generator, the measurement harness, the neural network, and the

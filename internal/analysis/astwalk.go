@@ -1,0 +1,106 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// WithStack walks every file, calling fn with each node and the stack of
+// enclosing nodes (outermost first, not including n). Returning false
+// prunes the subtree. It is the parent-aware traversal the upstream
+// inspector package provides; the analyzers here need nothing fancier.
+func WithStack(files []*ast.File, fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			descend := fn(n, stack)
+			if !descend {
+				return false
+			}
+			stack = append(stack, n)
+			return true
+		})
+	}
+}
+
+// CalleeFunc resolves the called function or method object of call, or nil
+// for calls through function-typed values, conversions, and builtins.
+func CalleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			if fn, ok := sel.Obj().(*types.Func); ok {
+				return fn
+			}
+			return nil
+		}
+		// Package-qualified call: pkg.Func.
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+// CalleeIs reports whether call invokes the function or method with the
+// given types.Func full name, e.g. "(*sync.Mutex).Lock" or
+// "context.Background".
+func CalleeIs(info *types.Info, call *ast.CallExpr, fullName string) bool {
+	fn := CalleeFunc(info, call)
+	return fn != nil && fn.FullName() == fullName
+}
+
+// PathHasSegment reports whether the slash-separated import path contains
+// seg as a contiguous run of segments — "a/internal/pool" has segment
+// "internal/pool", but "a/internal/poolside" does not. Analyzers scope
+// themselves by segment so the same predicates hold for the real module
+// ("sizeless/internal/nn") and analysistest fixtures ("x/internal/nn").
+func PathHasSegment(path, seg string) bool {
+	if path == seg {
+		return true
+	}
+	if strings.HasPrefix(path, seg+"/") || strings.HasSuffix(path, "/"+seg) {
+		return true
+	}
+	return strings.Contains(path, "/"+seg+"/")
+}
+
+// IsLibraryPackage reports whether the import path names library code the
+// concurrency/context invariants govern: anything under an internal/ tree
+// plus the module root, excluding main packages (cmd, examples) — those own
+// their process and may fan out or manufacture contexts freely.
+func IsLibraryPackage(pkg *types.Package) bool {
+	if pkg.Name() == "main" {
+		return false
+	}
+	return PathHasSegment(pkg.Path(), "internal") || !strings.Contains(pkg.Path(), "/")
+}
+
+// RootIdent returns the leftmost identifier of a selector/index chain:
+// RootIdent(a.b[i].c) == a. Nil when the expression is rooted elsewhere
+// (call results, literals, ...).
+func RootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}

@@ -1,0 +1,39 @@
+// Package boundedgo enforces the repository's fan-out invariant: library
+// code never spawns naked goroutines. Every parallel section rides
+// internal/pool.Run, which bounds worker counts, observes ctx, and keeps
+// the lowest-index-error contract the engine's determinism arguments rely
+// on. Only internal/pool itself (the one sanctioned goroutine site), main
+// packages (they own their process), and tests are exempt.
+package boundedgo
+
+import (
+	"go/ast"
+
+	"sizeless/internal/analysis"
+)
+
+// Analyzer flags go statements in library packages.
+var Analyzer = &analysis.Analyzer{
+	Name: "boundedgo",
+	Doc: "forbid naked go statements in library packages; all fan-out must ride " +
+		"internal/pool.Run so worker counts stay bounded and context-aware",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if !analysis.IsLibraryPackage(pass.Pkg) {
+		return nil, nil
+	}
+	if analysis.PathHasSegment(pass.Path(), "internal/pool") {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if g, ok := n.(*ast.GoStmt); ok {
+				pass.Reportf(g.Pos(), "naked go statement in library package %s: fan out through internal/pool.Run so worker counts stay bounded and ctx-aware", pass.Path())
+			}
+			return true
+		})
+	}
+	return nil, nil
+}

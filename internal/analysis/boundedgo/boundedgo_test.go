@@ -1,0 +1,15 @@
+package boundedgo_test
+
+import (
+	"testing"
+
+	"sizeless/internal/analysis/analysistest"
+	"sizeless/internal/analysis/boundedgo"
+)
+
+func TestAnalyzer(t *testing.T) {
+	// a/internal/lib: violations plus a suppressed exception.
+	// a/cmd/tool and a/internal/pool: exempt scopes, asserted silent.
+	analysistest.Run(t, analysistest.TestData(t), boundedgo.Analyzer,
+		"a/internal/lib", "a/cmd/tool", "a/internal/pool")
+}

@@ -1,0 +1,9 @@
+// Command tool owns its process: main packages may spawn goroutines
+// freely, so nothing in this file is flagged.
+package main
+
+func main() {
+	done := make(chan struct{})
+	go func() { close(done) }()
+	<-done
+}

@@ -1,0 +1,24 @@
+// Package lib is a library package (internal/ segment, non-main): naked
+// goroutines are forbidden here.
+package lib
+
+import "sync"
+
+// Fire violates the fan-out invariant with a naked goroutine.
+func Fire(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() { // want `naked go statement in library package`
+		wg.Done()
+	}()
+}
+
+// FireNamed shows the call form is flagged too, not just literals.
+func FireNamed(fn func()) {
+	go fn() // want `naked go statement in library package`
+}
+
+// Sanctioned is a justified, documented exception.
+func Sanctioned(done chan struct{}) {
+	//lint:ignore boundedgo fixture: one-off goroutine with a documented shutdown path
+	go func() { close(done) }()
+}

@@ -1,0 +1,13 @@
+// Package pool is the one sanctioned goroutine site: the bounded worker
+// pool itself must spawn workers, so boundedgo skips it entirely.
+package pool
+
+// Run spawns the goroutine every other library package must ride.
+func Run(fn func()) chan struct{} {
+	done := make(chan struct{})
+	go func() {
+		fn()
+		close(done)
+	}()
+	return done
+}

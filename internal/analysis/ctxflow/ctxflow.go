@@ -1,0 +1,178 @@
+// Package ctxflow enforces context discipline in library code: a ctx that
+// enters a function must flow to its callees, and library packages must
+// not manufacture fresh root contexts — context.Background()/TODO() belong
+// to main packages, tests, and the one sanctioned idiom, the nil-ctx
+// compatibility guard:
+//
+//	if ctx == nil {
+//	    ctx = context.Background()
+//	}
+//
+// A manufactured or nil context passed down while a real ctx is in scope
+// silently detaches the callee from cancellation — exactly the bug that
+// turns a cancelled fleet recompute into a runaway background train.
+package ctxflow
+
+import (
+	"go/ast"
+	"go/types"
+
+	"sizeless/internal/analysis"
+)
+
+// Analyzer flags manufactured root contexts and dropped ctx parameters in
+// library packages.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxflow",
+	Doc: "library code must not manufacture context.Background/TODO (nil-ctx guards " +
+		"excepted) and must pass an in-scope ctx to every callee that accepts one",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if !analysis.IsLibraryPackage(pass.Pkg) {
+		return nil, nil
+	}
+	info := pass.TypesInfo
+	analysis.WithStack(pass.Files, func(n ast.Node, stack []ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if name, ok := rootContextCall(info, call); ok {
+			if isNilGuard(info, call, stack) {
+				return true
+			}
+			if ctxParam(info, stack) != nil {
+				pass.Reportf(call.Pos(), "context.%s manufactured while ctx is in scope; pass the caller's ctx so cancellation propagates", name)
+			} else {
+				pass.Reportf(call.Pos(), "library code must not manufacture context.%s; accept a ctx parameter and thread it from the caller", name)
+			}
+			return true
+		}
+		checkNilCtxArg(pass, call, stack)
+		return true
+	})
+	return nil, nil
+}
+
+// rootContextCall recognizes context.Background() / context.TODO().
+func rootContextCall(info *types.Info, call *ast.CallExpr) (string, bool) {
+	for _, name := range [2]string{"Background", "TODO"} {
+		if analysis.CalleeIs(info, call, "context."+name) {
+			return name, true
+		}
+	}
+	return "", false
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+// ctxParam returns the nearest enclosing function's context.Context
+// parameter object, if it has one.
+func ctxParam(info *types.Info, stack []ast.Node) *types.Var {
+	for i := len(stack) - 1; i >= 0; i-- {
+		var ft *ast.FuncType
+		switch f := stack[i].(type) {
+		case *ast.FuncDecl:
+			ft = f.Type
+		case *ast.FuncLit:
+			// A literal inherits its enclosing function's ctx visibility;
+			// keep climbing unless the literal declares its own.
+			ft = f.Type
+		default:
+			continue
+		}
+		for _, field := range ft.Params.List {
+			t := info.TypeOf(field.Type)
+			if t == nil || !isContextType(t) {
+				continue
+			}
+			for _, name := range field.Names {
+				if v, ok := info.Defs[name].(*types.Var); ok {
+					return v
+				}
+			}
+		}
+		if _, isDecl := stack[i].(*ast.FuncDecl); isDecl {
+			return nil
+		}
+	}
+	return nil
+}
+
+// isNilGuard recognizes the compatibility idiom: the call is the RHS of
+// `x = context.Background()` directly inside `if x == nil { ... }`.
+func isNilGuard(info *types.Info, call *ast.CallExpr, stack []ast.Node) bool {
+	if len(stack) < 3 {
+		return false
+	}
+	asg, ok := stack[len(stack)-1].(*ast.AssignStmt)
+	if !ok || len(asg.Lhs) != 1 || len(asg.Rhs) != 1 || asg.Rhs[0] != call {
+		return false
+	}
+	lhs, ok := ast.Unparen(asg.Lhs[0]).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	target := info.ObjectOf(lhs)
+	if target == nil {
+		return false
+	}
+	for i := len(stack) - 2; i >= 0 && i >= len(stack)-4; i-- {
+		ifStmt, ok := stack[i].(*ast.IfStmt)
+		if !ok {
+			continue
+		}
+		cond, ok := ifStmt.Cond.(*ast.BinaryExpr)
+		if !ok {
+			return false
+		}
+		var operand *ast.Ident
+		for _, e := range [2]ast.Expr{cond.X, cond.Y} {
+			if id, ok := ast.Unparen(e).(*ast.Ident); ok && id.Name != "nil" {
+				operand = id
+			}
+		}
+		return operand != nil && info.ObjectOf(operand) == target
+	}
+	return false
+}
+
+// checkNilCtxArg flags a literal nil passed in a context.Context parameter
+// slot while the enclosing function has a ctx of its own.
+func checkNilCtxArg(pass *analysis.Pass, call *ast.CallExpr, stack []ast.Node) {
+	info := pass.TypesInfo
+	t := info.TypeOf(call.Fun)
+	if t == nil {
+		return
+	}
+	sig, ok := t.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		if i >= params.Len() {
+			break
+		}
+		id, ok := ast.Unparen(arg).(*ast.Ident)
+		if !ok || id.Name != "nil" {
+			continue
+		}
+		if !isContextType(params.At(i).Type()) {
+			continue
+		}
+		if ctxParam(info, stack) != nil {
+			pass.Reportf(arg.Pos(), "nil passed as context.Context while ctx is in scope; pass ctx so cancellation propagates")
+		}
+	}
+}

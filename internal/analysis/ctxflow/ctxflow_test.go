@@ -1,0 +1,12 @@
+package ctxflow_test
+
+import (
+	"testing"
+
+	"sizeless/internal/analysis/analysistest"
+	"sizeless/internal/analysis/ctxflow"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), ctxflow.Analyzer, "b/internal/lib")
+}

@@ -1,0 +1,46 @@
+// Package lib exercises the ctxflow invariant: library code must not
+// manufacture root contexts and must keep an in-scope ctx flowing.
+package lib
+
+import "context"
+
+// Detached manufactures a root context with no ctx in scope at all.
+func Detached() error {
+	ctx := context.Background() // want `library code must not manufacture context\.Background`
+	return work(ctx)
+}
+
+// Dropped has a perfectly good ctx and detaches its callee anyway.
+func Dropped(ctx context.Context) error {
+	return work(context.TODO()) // want `context\.TODO manufactured while ctx is in scope`
+}
+
+// NilArg severs cancellation by passing a literal nil downward.
+func NilArg(ctx context.Context) error {
+	return work(nil) // want `nil passed as context\.Context while ctx is in scope`
+}
+
+// Guarded is the sanctioned nil-ctx compatibility idiom: defaulting a nil
+// ctx is the one legal Background() in library code.
+func Guarded(ctx context.Context) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return work(ctx)
+}
+
+// Threaded is the normal, silent case: ctx flows to the callee.
+func Threaded(ctx context.Context) error {
+	return work(ctx)
+}
+
+// Suppressed is a documented exception.
+func Suppressed() error {
+	//lint:ignore ctxflow fixture: deliberately detached fire-and-forget job per its contract
+	return work(context.Background())
+}
+
+func work(ctx context.Context) error {
+	_ = ctx
+	return nil
+}

@@ -1,0 +1,15 @@
+package determinism_test
+
+import (
+	"testing"
+
+	"sizeless/internal/analysis/analysistest"
+	"sizeless/internal/analysis/determinism"
+)
+
+func TestAnalyzer(t *testing.T) {
+	// c/internal/nn: numeric-scoped violations plus a suppressed exception.
+	// c/internal/util: outside the numeric scope, asserted silent.
+	analysistest.Run(t, analysistest.TestData(t), determinism.Analyzer,
+		"c/internal/nn", "c/internal/util")
+}

@@ -1,0 +1,75 @@
+// Package nn sits in a numeric-scoped path (segment internal/nn), so both
+// the randomness rules and the map-order rules apply.
+package nn
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Draw pulls from the shared seedless source.
+func Draw() float64 {
+	return rand.Float64() // want `seedless global math/rand\.Float64`
+}
+
+// ClockSeed derives a seed from the wall clock.
+func ClockSeed() *rand.Rand {
+	src := rand.NewSource(time.Now().UnixNano()) // want `time\.Now-derived seed passed to NewSource`
+	return rand.New(src)
+}
+
+// FixedSeed is the sanctioned pattern: a seed derived from a root seed.
+func FixedSeed(root int64) *rand.Rand {
+	return rand.New(rand.NewSource(root + 1))
+}
+
+// SumUnsorted accumulates floats in map-iteration order.
+func SumUnsorted(m map[string]float64) float64 {
+	var total float64
+	for _, v := range m {
+		total += v // want `float accumulation into total in map-iteration order`
+	}
+	return total
+}
+
+// CollectUnsorted appends to an outer slice in map-iteration order.
+func CollectUnsorted(m map[string]float64) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `append to keys in map-iteration order`
+	}
+	return keys
+}
+
+// SumSorted iterates a sorted key slice: deterministic, silent.
+func SumSorted(m map[string]float64) float64 {
+	keys := sortedKeys(m)
+	var total float64
+	for _, k := range keys {
+		total += m[k]
+	}
+	return total
+}
+
+// sortedKeys is the canonical fix; the collection step itself is the
+// documented exception because the sort below erases iteration order.
+func sortedKeys(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		//lint:ignore determinism fixture: keys are sorted immediately below, map order never reaches a result
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// PerKey writes through per-key slots with loop-local temporaries: each
+// iteration is independent of order, silent.
+func PerKey(m map[string]int, out map[string]float64) {
+	for k, v := range m {
+		x := float64(v)
+		x *= 2
+		out[k] = x
+	}
+}

@@ -1,0 +1,14 @@
+// Package util is a library package outside the numeric scope
+// (internal/nn, internal/core, internal/stats, internal/xrand): the
+// map-order rules do not apply here, so nothing is flagged.
+package util
+
+// Keys collects map keys in iteration order — legal outside the numeric
+// packages, where ordering does not feed float pipelines.
+func Keys(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}

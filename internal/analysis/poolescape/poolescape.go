@@ -1,0 +1,200 @@
+// Package poolescape enforces the pooling invariant behind the engine's
+// zero-steady-state-allocation hot paths: a value drawn from a sync.Pool
+// (directly via Get, or through a Borrow-style helper that hands out
+// pooled storage with a paired release) must stay local to the function
+// that drew it. Returning it, parking it in a struct field or global, or
+// capturing it in a goroutine lets it outlive the Put — after which the
+// pool hands the same backing array to another caller and two computations
+// silently share scratch memory.
+package poolescape
+
+import (
+	"go/ast"
+	"go/types"
+
+	"sizeless/internal/analysis"
+)
+
+// Analyzer flags pooled values that escape the drawing function.
+var Analyzer = &analysis.Analyzer{
+	Name: "poolescape",
+	Doc: "values drawn from a sync.Pool or a Borrow-style pooled helper must not be " +
+		"returned, stored in fields or globals, or captured by goroutines — they must " +
+		"not outlive their Put",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					checkFunc(pass, fn.Body)
+				}
+				return false
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// pooledSource reports whether rhs draws pooled storage: (*sync.Pool).Get
+// (possibly through a type assertion) or a call to a method or function
+// named Borrow — the repository convention for "pooled storage plus
+// release func".
+func pooledSource(info *types.Info, rhs ast.Expr) (string, bool) {
+	e := ast.Unparen(rhs)
+	if ta, ok := e.(*ast.TypeAssertExpr); ok {
+		e = ast.Unparen(ta.X)
+	}
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return "", false
+	}
+	fn := analysis.CalleeFunc(info, call)
+	if fn == nil {
+		return "", false
+	}
+	if fn.FullName() == "(*sync.Pool).Get" {
+		return "sync.Pool.Get", true
+	}
+	if fn.Name() == "Borrow" {
+		return fn.Name(), true
+	}
+	return "", false
+}
+
+// checkFunc tracks pooled variables inside one function body (closures
+// included: a pooled value drawn in the function and misused inside a
+// nested literal is still an escape of this function's draw).
+func checkFunc(pass *analysis.Pass, body *ast.BlockStmt) {
+	info := pass.TypesInfo
+
+	// Pass 1: collect pooled variables and where they were drawn.
+	pooled := make(map[types.Object]string) // var -> source description
+	ast.Inspect(body, func(n ast.Node) bool {
+		asg, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, rhs := range asg.Rhs {
+			src, ok := pooledSource(info, rhs)
+			if !ok {
+				continue
+			}
+			// Borrow-style helpers return (storage, release); only the
+			// storage result is pooled. With one RHS per LHS the position
+			// maps directly; multi-value calls pool the first result.
+			if i < len(asg.Lhs) {
+				if id, ok := ast.Unparen(asg.Lhs[i]).(*ast.Ident); ok && id.Name != "_" {
+					if obj := info.ObjectOf(id); obj != nil {
+						pooled[obj] = src
+					}
+				}
+			}
+		}
+		return true
+	})
+	if len(pooled) == 0 {
+		return
+	}
+
+	uses := func(e ast.Expr, obj types.Object) bool {
+		found := false
+		ast.Inspect(e, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && info.Uses[id] == obj {
+				found = true
+				return false
+			}
+			return true
+		})
+		return found
+	}
+
+	// rootObj resolves the object a value expression aliases: `x`, `x.f`,
+	// `x[i]`, `*x` all share x's pooled backing storage. A pooled value
+	// that is merely an argument to a call does not alias the call's
+	// result, so expression-rooted matching (not "mentions anywhere") is
+	// what keeps `return n.train(ctx, ..., ts)` legal.
+	rootObj := func(e ast.Expr) types.Object {
+		if id := analysis.RootIdent(e); id != nil {
+			return info.ObjectOf(id)
+		}
+		return nil
+	}
+
+	// Pass 2: flag escapes.
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ReturnStmt:
+			// Ownership transfer: returning pooled storage TOGETHER with a
+			// func-typed release that references it (the Borrow convention,
+			// e.g. `return buf.rows, func() { pool.Put(buf) }`) is the
+			// sanctioned provider pattern — the signature itself carries
+			// the "must release" contract.
+			for _, res := range n.Results {
+				if t := info.TypeOf(res); t != nil {
+					if _, isFunc := t.Underlying().(*types.Signature); isFunc {
+						for obj := range pooled {
+							if uses(res, obj) {
+								return true
+							}
+						}
+					}
+				}
+			}
+			for _, res := range n.Results {
+				obj := rootObj(res)
+				if src, ok := pooled[obj]; ok {
+					pass.Reportf(res.Pos(), "pooled %s (from %s) returned; the caller would hold it past its Put — copy it or redesign around a caller-owned buffer", obj.Name(), src)
+				}
+			}
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				var rhs ast.Expr
+				if len(n.Rhs) == len(n.Lhs) {
+					rhs = n.Rhs[i]
+				} else if len(n.Rhs) == 1 {
+					rhs = n.Rhs[0]
+				}
+				if rhs == nil {
+					continue
+				}
+				obj := rootObj(rhs)
+				src, ok := pooled[obj]
+				if !ok {
+					continue
+				}
+				switch target := ast.Unparen(lhs).(type) {
+				case *ast.SelectorExpr:
+					// Mutating the pooled value's own fields (buf.flat =
+					// buf.flat[:n]) is how pooled arenas resize; only a
+					// store into some OTHER object's field escapes.
+					if rootObj(target) == obj {
+						continue
+					}
+					pass.Reportf(n.Pos(), "pooled %s (from %s) stored in %s; a field outlives the Put and the next Get would alias it", obj.Name(), src, types.ExprString(target))
+				case *ast.Ident:
+					if v, ok := info.ObjectOf(target).(*types.Var); ok && v.Parent() == pass.Pkg.Scope() {
+						pass.Reportf(n.Pos(), "pooled %s (from %s) stored in package variable %s; a global outlives the Put", obj.Name(), src, target.Name)
+					}
+				}
+			}
+		case *ast.GoStmt:
+			// Capture is aliasing no matter how deep in the call: flag any
+			// reference from the spawned call's function or arguments.
+			for obj, src := range pooled {
+				captured := uses(n.Call.Fun, obj)
+				for _, a := range n.Call.Args {
+					captured = captured || uses(a, obj)
+				}
+				if captured {
+					pass.Reportf(n.Pos(), "pooled %s (from %s) captured by goroutine; if the goroutine outlives the Put it races the pool's next Get", obj.Name(), src)
+				}
+			}
+		}
+		return true
+	})
+}

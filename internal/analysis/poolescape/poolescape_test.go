@@ -1,0 +1,12 @@
+package poolescape_test
+
+import (
+	"testing"
+
+	"sizeless/internal/analysis/analysistest"
+	"sizeless/internal/analysis/poolescape"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), poolescape.Analyzer, "d/scratch")
+}

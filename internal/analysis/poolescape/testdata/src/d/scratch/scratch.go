@@ -1,0 +1,81 @@
+// Package scratch exercises every poolescape escape route: return, field
+// store, global store, goroutine capture — plus the sanctioned patterns.
+package scratch
+
+import "sync"
+
+var bufPool = sync.Pool{New: func() any { return make([]byte, 0, 64) }}
+
+var global []byte
+
+type holder struct {
+	buf []byte
+}
+
+// Leak returns pooled storage; the caller would hold it past its Put.
+func Leak() []byte {
+	buf := bufPool.Get().([]byte)
+	return buf // want `pooled buf \(from sync\.Pool\.Get\) returned`
+}
+
+// Park stores pooled storage in another object's field.
+func Park(h *holder) {
+	buf := bufPool.Get().([]byte)
+	h.buf = buf // want `pooled buf \(from sync\.Pool\.Get\) stored in h\.buf`
+	bufPool.Put(buf[:0])
+}
+
+// Pin parks pooled storage in a package variable.
+func Pin() {
+	buf := bufPool.Get().([]byte)
+	global = buf // want `pooled buf \(from sync\.Pool\.Get\) stored in package variable global`
+	bufPool.Put(buf[:0])
+}
+
+// Race hands pooled storage to a goroutine that may outlive the Put.
+func Race(done chan struct{}) {
+	buf := bufPool.Get().([]byte)
+	go consume(buf, done) // want `pooled buf \(from sync\.Pool\.Get\) captured by goroutine`
+	bufPool.Put(buf[:0])
+}
+
+func consume(b []byte, done chan struct{}) {
+	_ = b
+	close(done)
+}
+
+// Borrow is the sanctioned provider pattern: pooled storage returned
+// together with the func-typed release that ends its lease. Silent.
+func Borrow() ([]byte, func()) {
+	buf := bufPool.Get().([]byte)
+	return buf, func() { bufPool.Put(buf[:0]) }
+}
+
+// Reborrow draws through the Borrow convention and leaks it anyway.
+func Reborrow() []byte {
+	rows, release := Borrow()
+	defer release()
+	return rows // want `pooled rows \(from Borrow\) returned`
+}
+
+type arena struct{ flat []float64 }
+
+var arenaPool = sync.Pool{New: func() any { return new(arena) }}
+
+// Resize mutates the pooled value's own field — how pooled arenas grow and
+// shrink. Not an escape, silent.
+func Resize(n int) {
+	a := arenaPool.Get().(*arena)
+	a.flat = a.flat[:0]
+	for i := 0; i < n; i++ {
+		a.flat = append(a.flat, float64(i))
+	}
+	arenaPool.Put(a)
+}
+
+// Keep is a documented exception.
+func Keep() []byte {
+	buf := bufPool.Get().([]byte)
+	//lint:ignore poolescape fixture: caller is the pool owner and returns the storage before the next Get
+	return buf
+}

@@ -1,0 +1,223 @@
+// Package shardlock enforces the recommender's lock discipline: while a
+// shard mutex is held, a Service method must do its own work and get out —
+// it must not call other locking methods of the same package (self-
+// deadlock with sync.Mutex, lock-order inversion across shards) and must
+// not invoke user callbacks (arbitrary code, arbitrary latency, possible
+// reentrancy) until the lock is released. The sanctioned pattern is the
+// *Locked helper: a method that documents "caller holds the shard lock"
+// and takes no locks of its own.
+package shardlock
+
+import (
+	"go/ast"
+	"go/types"
+
+	"sizeless/internal/analysis"
+)
+
+// Analyzer flags locking-method calls and callback invocations made while
+// a mutex is held inside internal/recommender.
+var Analyzer = &analysis.Analyzer{
+	Name: "shardlock",
+	Doc: "inside internal/recommender, methods must not call other locking Service " +
+		"methods or invoke user callbacks while holding a shard mutex",
+	Run: run,
+}
+
+var mutexMethods = map[string]string{
+	"(*sync.Mutex).Lock":      "lock",
+	"(*sync.Mutex).Unlock":    "unlock",
+	"(*sync.RWMutex).Lock":    "lock",
+	"(*sync.RWMutex).RLock":   "lock",
+	"(*sync.RWMutex).Unlock":  "unlock",
+	"(*sync.RWMutex).RUnlock": "unlock",
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if !analysis.PathHasSegment(pass.Path(), "internal/recommender") {
+		return nil, nil
+	}
+	info := pass.TypesInfo
+
+	// Pre-pass: which methods in this package take a mutex themselves?
+	// Calling one of those while already holding a shard lock is the
+	// hazard; calling a *Locked helper (lock-free by contract) is the
+	// sanctioned pattern and stays silent.
+	locking := make(map[*types.Func]bool)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			takesLock := false
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if call, ok := n.(*ast.CallExpr); ok {
+					if fn := analysis.CalleeFunc(info, call); fn != nil && mutexMethods[fn.FullName()] == "lock" {
+						takesLock = true
+					}
+				}
+				return true
+			})
+			if takesLock {
+				if fn, ok := info.Defs[fd.Name].(*types.Func); ok {
+					locking[fn] = true
+				}
+			}
+		}
+	}
+
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				w := &walker{pass: pass, info: info, locking: locking}
+				w.stmts(fd.Body.List, nil)
+			}
+		}
+	}
+	return nil, nil
+}
+
+// walker tracks, lexically, which mutexes are held at each statement. It
+// is an under-approximation by design (a vet heuristic, not a proof):
+// locks taken inside nested control flow are tracked within that branch
+// only, and a deferred Unlock leaves the mutex held to the end of the
+// function — which is exactly the Lock/defer-Unlock idiom.
+type walker struct {
+	pass    *analysis.Pass
+	info    *types.Info
+	locking map[*types.Func]bool
+}
+
+// mutexOp recognizes a statement-level mutex operation and returns the
+// lock's receiver expression (e.g. "sh.mu") and whether it locks.
+func (w *walker) mutexOp(call *ast.CallExpr) (key string, op string, ok bool) {
+	fn := analysis.CalleeFunc(w.info, call)
+	if fn == nil {
+		return "", "", false
+	}
+	op, isMutex := mutexMethods[fn.FullName()]
+	if !isMutex {
+		return "", "", false
+	}
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	return types.ExprString(sel.X), op, true
+}
+
+// stmts processes a statement list with the held set inherited from the
+// enclosing block.
+func (w *walker) stmts(list []ast.Stmt, held []string) {
+	held = append([]string(nil), held...)
+	for _, stmt := range list {
+		switch s := stmt.(type) {
+		case *ast.ExprStmt:
+			if call, ok := s.X.(*ast.CallExpr); ok {
+				if key, op, ok := w.mutexOp(call); ok {
+					switch op {
+					case "lock":
+						held = append(held, key)
+					case "unlock":
+						for i := len(held) - 1; i >= 0; i-- {
+							if held[i] == key {
+								held = append(held[:i], held[i+1:]...)
+								break
+							}
+						}
+					}
+					continue
+				}
+			}
+		case *ast.DeferStmt:
+			// defer mu.Unlock(): the mutex stays held for the remainder of
+			// the function — precisely the case the invariant polices.
+			if _, _, ok := w.mutexOp(s.Call); ok {
+				continue
+			}
+		}
+		if len(held) > 0 {
+			w.scan(stmt, held)
+			continue
+		}
+		// Not holding anything here: recurse into nested blocks so locks
+		// taken inside them are tracked with their own scope.
+		switch s := stmt.(type) {
+		case *ast.BlockStmt:
+			w.stmts(s.List, held)
+		case *ast.IfStmt:
+			w.stmts(s.Body.List, held)
+			if s.Else != nil {
+				w.stmts([]ast.Stmt{s.Else}, held)
+			}
+		case *ast.ForStmt:
+			w.stmts(s.Body.List, held)
+		case *ast.RangeStmt:
+			w.stmts(s.Body.List, held)
+		case *ast.SwitchStmt:
+			w.stmts(s.Body.List, held)
+		case *ast.TypeSwitchStmt:
+			w.stmts(s.Body.List, held)
+		case *ast.SelectStmt:
+			w.stmts(s.Body.List, held)
+		case *ast.CaseClause:
+			w.stmts(s.Body, held)
+		case *ast.CommClause:
+			w.stmts(s.Body, held)
+		case *ast.LabeledStmt:
+			w.stmts([]ast.Stmt{s.Stmt}, held)
+		case *ast.GoStmt:
+			// The spawned goroutine does not inherit the (empty) held set.
+			if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+				w.stmts(lit.Body.List, nil)
+			}
+		}
+	}
+}
+
+// scan walks one statement executed under a held mutex and flags hazardous
+// calls anywhere in its subtree.
+func (w *walker) scan(stmt ast.Stmt, held []string) {
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if _, _, isMutex := w.mutexOp(call); isMutex {
+			return true
+		}
+		if fn := analysis.CalleeFunc(w.info, call); fn != nil {
+			if w.locking[fn] {
+				w.pass.Reportf(call.Pos(), "%s takes a lock and is called while %s is held; copy the needed state out and call it after unlock (*Locked helpers are the sanctioned pattern)", fn.Name(), held[len(held)-1])
+			}
+			return true
+		}
+		// No function object: a call through a function-typed value. If
+		// that value is a variable (field, parameter, local), it is a user
+		// callback — arbitrary code under our lock.
+		if isCallbackValue(w.info, call.Fun) {
+			w.pass.Reportf(call.Pos(), "user callback invoked while %s is held; capture the value and invoke it after unlock", held[len(held)-1])
+		}
+		return true
+	})
+}
+
+// isCallbackValue reports whether e denotes a function-typed variable.
+func isCallbackValue(info *types.Info, e ast.Expr) bool {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		v, ok := info.Uses[x].(*types.Var)
+		if !ok {
+			return false
+		}
+		_, isSig := v.Type().Underlying().(*types.Signature)
+		return isSig
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[x]; ok && sel.Kind() == types.FieldVal {
+			_, isSig := sel.Type().Underlying().(*types.Signature)
+			return isSig
+		}
+	}
+	return false
+}

@@ -1,0 +1,15 @@
+package shardlock_test
+
+import (
+	"testing"
+
+	"sizeless/internal/analysis/analysistest"
+	"sizeless/internal/analysis/shardlock"
+)
+
+func TestAnalyzer(t *testing.T) {
+	// e/internal/recommender: violations plus sanctioned patterns and a
+	// suppressed exception. e/internal/other: out of scope, asserted silent.
+	analysistest.Run(t, analysistest.TestData(t), shardlock.Analyzer,
+		"e/internal/recommender", "e/internal/other")
+}

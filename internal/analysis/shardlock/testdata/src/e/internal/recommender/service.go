@@ -1,0 +1,65 @@
+// Package recommender is a single-shard stand-in for the real sharded
+// recommender: the lock-discipline rules apply in full here.
+package recommender
+
+import "sync"
+
+// Service mimics the real shape: a mutex, guarded state, a user callback.
+type Service struct {
+	mu       sync.Mutex
+	state    map[string]int
+	onChange func(int)
+}
+
+// Snapshot takes the shard lock itself, so calling it under the lock is a
+// self-deadlock with sync.Mutex.
+func (s *Service) Snapshot() map[string]int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]int, len(s.state))
+	for k, v := range s.state {
+		out[k] = v
+	}
+	return out
+}
+
+// Recompute calls a locking method while already holding the lock.
+func (s *Service) Recompute() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_ = s.Snapshot() // want `Snapshot takes a lock and is called while s\.mu is held`
+}
+
+// Notify fires a user callback inside the critical section.
+func (s *Service) Notify(n int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.onChange(n) // want `user callback invoked while s\.mu is held`
+}
+
+// sizeLocked documents "caller holds the lock" and takes no locks itself.
+func (s *Service) sizeLocked() int { return len(s.state) }
+
+// Size is the sanctioned pattern: lock, call the *Locked helper, unlock.
+func (s *Service) Size() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sizeLocked()
+}
+
+// NotifyAfter is the sanctioned callback shape: copy the needed state out,
+// release the lock, then invoke the callback.
+func (s *Service) NotifyAfter(n int) {
+	s.mu.Lock()
+	total := s.sizeLocked()
+	s.mu.Unlock()
+	s.onChange(total + n)
+}
+
+// Flush is a documented exception.
+func (s *Service) Flush(fn func()) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	//lint:ignore shardlock fixture: fn is documented lock-free and must observe the frozen state
+	fn()
+}

@@ -6,10 +6,8 @@ import (
 	"fmt"
 	"io"
 	"math"
-	goruntime "runtime"
 	"sort"
 	"sync"
-	"sync/atomic"
 
 	"sizeless/internal/dataset"
 	"sizeless/internal/features"
@@ -180,9 +178,13 @@ func (m *Model) initDerived() error {
 	return nil
 }
 
-// getPredictBuf borrows single-prediction scratch from the pool.
+// getPredictBuf borrows single-prediction scratch from the pool. It is
+// the pool's provider: every caller pairs it with a deferred
+// predictPool.Put in the same function, so the value never outlives its
+// return to the pool.
 func (m *Model) getPredictBuf() *predictBuf {
 	if pb, ok := m.predictPool.Get().(*predictBuf); ok {
+		//lint:ignore poolescape provider half of the predict-scratch pool: every caller pairs this with `defer m.predictPool.Put(pb)` in the same function
 		return pb
 	}
 	return &predictBuf{
@@ -431,54 +433,35 @@ func (m *Model) PredictBatch(ctx context.Context, sums []monitoring.Summary, wor
 		return nil, fmt.Errorf("core: %w", err)
 	}
 
-	if workers <= 0 {
-		workers = goruntime.GOMAXPROCS(0)
-	}
-	if workers > len(sums) {
-		workers = len(sums)
-	}
-	out := make([]map[platform.MemorySize]float64, len(sums))
-	errs := make([]error, workers)
-	var next atomic.Int64
+	// Chunked fan-out over the shared bounded pool: each chunk borrows
+	// forward-pass scratch from the predict pool (the ensemble shares one
+	// shape, so one buffer set serves every net), keeping the inner loop
+	// allocation-free apart from the result maps. Jobs write only their own
+	// indices, so results are deterministic for any worker count.
 	const chunk = 16
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			// Per-worker scratch: the ensemble shares one shape, so one
-			// buffer set serves every net, making the inner loop
-			// allocation-free apart from the result maps.
-			scratch := m.nets[0].NewScratch()
-			ratios := make([]float64, len(m.targets))
-			for {
-				if ctx.Err() != nil {
-					errs[w] = ctx.Err()
-					return
-				}
-				start := int(next.Add(chunk)) - chunk
-				if start >= len(sums) {
-					return
-				}
-				end := start + chunk
-				if end > len(sums) {
-					end = len(sums)
-				}
-				for i := start; i < end; i++ {
-					if err := m.ratiosFromScaledInto(scaled[i], scratch, ratios); err != nil {
-						errs[w] = err
-						return
-					}
-					out[i] = m.timesFromRatios(baseMs[i], ratios)
-				}
-			}
-		}(w)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("core: batch predict: %w", err)
+	out := make([]map[platform.MemorySize]float64, len(sums))
+	nChunks := (len(sums) + chunk - 1) / chunk
+	err := pool.Run(ctx, nChunks, workers, func(c int) error {
+		pb := m.getPredictBuf()
+		defer m.predictPool.Put(pb)
+		start := c * chunk
+		end := start + chunk
+		if end > len(sums) {
+			end = len(sums)
 		}
+		for i := start; i < end; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := m.ratiosFromScaledInto(scaled[i], pb.scratch, pb.ratios); err != nil {
+				return err
+			}
+			out[i] = m.timesFromRatios(baseMs[i], pb.ratios)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: batch predict: %w", err)
 	}
 	return out, nil
 }

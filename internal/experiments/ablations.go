@@ -27,8 +27,8 @@ type AblationTargetsResult struct {
 
 // AblationTargets trains both variants with matched budgets under k-fold CV
 // and scores both on absolute execution times.
-func AblationTargets(lab *Lab, k int) (*AblationTargetsResult, error) {
-	ds, err := lab.Dataset()
+func AblationTargets(ctx context.Context, lab *Lab, k int) (*AblationTargetsResult, error) {
+	ds, err := lab.Dataset(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -49,7 +49,7 @@ func AblationTargets(lab *Lab, k int) (*AblationTargetsResult, error) {
 		// Variant 1: paper pipeline (ratio targets).
 		rCfg := cfg
 		rCfg.Seed = cfg.Seed + int64(fi)
-		ratioModel, err := core.Train(context.Background(), train, rCfg)
+		ratioModel, err := core.Train(ctx, train, rCfg)
 		if err != nil {
 			return nil, err
 		}
@@ -84,7 +84,7 @@ func AblationTargets(lab *Lab, k int) (*AblationTargetsResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		if _, err := absNet.Train(context.Background(), xs, yAbs); err != nil {
+		if _, err := absNet.Train(ctx, xs, yAbs); err != nil {
 			return nil, err
 		}
 
@@ -146,8 +146,8 @@ type AblationFeaturesResult struct {
 }
 
 // AblationFeatures runs CV for both feature sets with matched budgets.
-func AblationFeatures(lab *Lab, k int) (*AblationFeaturesResult, error) {
-	ds, err := lab.Dataset()
+func AblationFeatures(ctx context.Context, lab *Lab, k int) (*AblationFeaturesResult, error) {
+	ds, err := lab.Dataset(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -157,10 +157,10 @@ func AblationFeatures(lab *Lab, k int) (*AblationFeaturesResult, error) {
 	f0.Features = features.MeanFeatures()
 
 	res := &AblationFeaturesResult{}
-	if res.F4, err = core.CrossValidate(context.Background(), ds, f4, k, 1, lab.Scale.Seed+37); err != nil {
+	if res.F4, err = core.CrossValidate(ctx, ds, f4, k, 1, lab.Scale.Seed+37); err != nil {
 		return nil, err
 	}
-	if res.F0, err = core.CrossValidate(context.Background(), ds, f0, k, 1, lab.Scale.Seed+37); err != nil {
+	if res.F0, err = core.CrossValidate(ctx, ds, f0, k, 1, lab.Scale.Seed+37); err != nil {
 		return nil, err
 	}
 	return res, nil
@@ -191,14 +191,14 @@ type AblationIncrementsResult struct {
 
 // AblationIncrements fits the BATCH-style polynomial through the model's
 // six predicted times and optimizes over all 46 sizes.
-func AblationIncrements(lab *Lab) (*AblationIncrementsResult, error) {
+func AblationIncrements(ctx context.Context, lab *Lab) (*AblationIncrementsResult, error) {
 	const base = platform.Mem256
 	const tradeoff = 0.75
-	model, err := lab.Model(base)
+	model, err := lab.Model(ctx, base)
 	if err != nil {
 		return nil, err
 	}
-	studies, err := lab.CaseStudies()
+	studies, err := lab.CaseStudies(ctx)
 	if err != nil {
 		return nil, err
 	}

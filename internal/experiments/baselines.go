@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -32,14 +33,14 @@ type BaselineComparisonResult struct {
 
 // BaselineComparison runs all four approaches on every case-study function
 // at the paper-recommended tradeoff t = 0.75.
-func BaselineComparison(lab *Lab) (*BaselineComparisonResult, error) {
+func BaselineComparison(ctx context.Context, lab *Lab) (*BaselineComparisonResult, error) {
 	const tradeoff = 0.75
 	const base = platform.Mem256
-	model, err := lab.Model(base)
+	model, err := lab.Model(ctx, base)
 	if err != nil {
 		return nil, err
 	}
-	studies, err := lab.CaseStudies()
+	studies, err := lab.CaseStudies(ctx)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -36,13 +37,13 @@ type PredictionErrorResult struct {
 
 // PredictionErrors predicts every case-study function from base-256
 // monitoring data and compares against the measured execution times.
-func PredictionErrors(lab *Lab) (*PredictionErrorResult, error) {
+func PredictionErrors(ctx context.Context, lab *Lab) (*PredictionErrorResult, error) {
 	const base = platform.Mem256
-	model, err := lab.Model(base)
+	model, err := lab.Model(ctx, base)
 	if err != nil {
 		return nil, err
 	}
-	studies, err := lab.CaseStudies()
+	studies, err := lab.CaseStudies(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -149,7 +150,7 @@ type CaseStudyPredictionsResult struct {
 
 // CaseStudyPredictions predicts selected functions from every base size.
 // With nil selections, it uses the paper's eight Fig. 6 functions.
-func CaseStudyPredictions(lab *Lab, selections map[string][]string) (*CaseStudyPredictionsResult, error) {
+func CaseStudyPredictions(ctx context.Context, lab *Lab, selections map[string][]string) (*CaseStudyPredictionsResult, error) {
 	if selections == nil {
 		selections = map[string][]string{
 			"airline-booking":    {"CreateCharge", "NotifyBooking"},
@@ -158,7 +159,7 @@ func CaseStudyPredictions(lab *Lab, selections map[string][]string) (*CaseStudyP
 			"hello-retail":       {"EventWriter", "ProductCatalogApi"},
 		}
 	}
-	studies, err := lab.CaseStudies()
+	studies, err := lab.CaseStudies(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -177,7 +178,7 @@ func CaseStudyPredictions(lab *Lab, selections map[string][]string) (*CaseStudyP
 				PredictedMs: make(map[platform.MemorySize]map[platform.MemorySize]float64, 6),
 			}
 			for _, base := range lab.Sizes() {
-				model, err := lab.Model(base)
+				model, err := lab.Model(ctx, base)
 				if err != nil {
 					return nil, err
 				}

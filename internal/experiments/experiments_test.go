@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"sync"
 	"testing"
@@ -48,7 +49,7 @@ func TestScaleByName(t *testing.T) {
 
 func TestFig1MotivatingExample(t *testing.T) {
 	lab := sharedLab(t)
-	res, err := MotivatingExample(lab)
+	res, err := MotivatingExample(context.Background(), lab)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -104,7 +105,7 @@ func TestFig1MotivatingExample(t *testing.T) {
 
 func TestFig3Stability(t *testing.T) {
 	lab := sharedLab(t)
-	res, err := StabilityAnalysis(lab)
+	res, err := StabilityAnalysis(context.Background(), lab)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -148,7 +149,7 @@ func TestFig4FeatureSelection(t *testing.T) {
 	lab := sharedLab(t)
 	// Keep the rounds tiny: 6 features from round 1, 6 from round 2,
 	// at most 6 selected per round.
-	res, err := FeatureSelection(lab, platform.Mem256, 6, 6, 6)
+	res, err := FeatureSelection(context.Background(), lab, platform.Mem256, 6, 6, 6)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -192,7 +193,7 @@ func TestFig4FeatureSelection(t *testing.T) {
 
 func TestTable3CrossValidation(t *testing.T) {
 	lab := sharedLab(t)
-	res, err := CrossValidationTable(lab, 3, 1)
+	res, err := CrossValidationTable(context.Background(), lab, 3, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -214,7 +215,7 @@ func TestTable3CrossValidation(t *testing.T) {
 
 func TestTable2GridSearch(t *testing.T) {
 	lab := sharedLab(t)
-	res, err := GridSearchTable(lab, nil, 3)
+	res, err := GridSearchTable(context.Background(), lab, nil, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -228,7 +229,7 @@ func TestTable2GridSearch(t *testing.T) {
 
 func TestFig5PartialDependence(t *testing.T) {
 	lab := sharedLab(t)
-	res, err := PartialDependencePlots(lab, 7)
+	res, err := PartialDependencePlots(context.Background(), lab, 7)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -264,7 +265,7 @@ func TestFig5PartialDependence(t *testing.T) {
 
 func TestTables4to7PredictionErrors(t *testing.T) {
 	lab := sharedLab(t)
-	res, err := PredictionErrors(lab)
+	res, err := PredictionErrors(context.Background(), lab)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -299,7 +300,7 @@ func TestTables4to7PredictionErrors(t *testing.T) {
 
 func TestFig6CaseStudyPredictions(t *testing.T) {
 	lab := sharedLab(t)
-	res, err := CaseStudyPredictions(lab, nil)
+	res, err := CaseStudyPredictions(context.Background(), lab, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -321,7 +322,7 @@ func TestFig6CaseStudyPredictions(t *testing.T) {
 
 func TestFig7SelectionRanking(t *testing.T) {
 	lab := sharedLab(t)
-	res, err := SelectionRanking(lab)
+	res, err := SelectionRanking(context.Background(), lab)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -356,7 +357,7 @@ func TestFig7SelectionRanking(t *testing.T) {
 
 func TestTable8SavingsSpeedup(t *testing.T) {
 	lab := sharedLab(t)
-	res, err := SavingsSpeedup(lab)
+	res, err := SavingsSpeedup(context.Background(), lab)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -385,7 +386,7 @@ func TestTable8SavingsSpeedup(t *testing.T) {
 
 func TestBaselineComparison(t *testing.T) {
 	lab := sharedLab(t)
-	res, err := BaselineComparison(lab)
+	res, err := BaselineComparison(context.Background(), lab)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -417,7 +418,7 @@ func TestBaselineComparison(t *testing.T) {
 
 func TestAblationTargets(t *testing.T) {
 	lab := sharedLab(t)
-	res, err := AblationTargets(lab, 3)
+	res, err := AblationTargets(context.Background(), lab, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -431,7 +432,7 @@ func TestAblationTargets(t *testing.T) {
 
 func TestAblationFeatures(t *testing.T) {
 	lab := sharedLab(t)
-	res, err := AblationFeatures(lab, 3)
+	res, err := AblationFeatures(context.Background(), lab, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -445,7 +446,7 @@ func TestAblationFeatures(t *testing.T) {
 
 func TestAblationIncrements(t *testing.T) {
 	lab := sharedLab(t)
-	res, err := AblationIncrements(lab)
+	res, err := AblationIncrements(context.Background(), lab)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -462,7 +463,7 @@ func TestAblationIncrements(t *testing.T) {
 
 func TestTransferLearning(t *testing.T) {
 	lab := sharedLab(t)
-	res, err := TransferLearning(lab)
+	res, err := TransferLearning(context.Background(), lab)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -62,9 +62,9 @@ func (r *IngestScaleResult) Render() string {
 // and shard/worker configurations — the scaling story of the concurrent
 // ingestion engine (benchreport id "ingest-scale"). Fleet sizes derive from
 // the lab scale so the small scale stays test-fast.
-func IngestScale(l *Lab) (*IngestScaleResult, error) {
+func IngestScale(ctx context.Context, l *Lab) (*IngestScaleResult, error) {
 	base := platform.Nearest(platform.Mem256, l.Sizes())
-	model, err := l.Model(base)
+	model, err := l.Model(ctx, base)
 	if err != nil {
 		return nil, err
 	}
@@ -76,7 +76,6 @@ func IngestScale(l *Lab) (*IngestScaleResult, error) {
 		{32, 0}, // the defaults: 32 shards, GOMAXPROCS workers
 	}
 	res := &IngestScaleResult{MinWindow: window}
-	ctx := context.Background()
 	for _, fleet := range fleets {
 		batch := fleetsynth.Batch(fleet, window, l.Scale.Seed+17, 1)
 		var baseline float64

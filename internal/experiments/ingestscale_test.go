@@ -1,13 +1,14 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
 
 func TestIngestScale(t *testing.T) {
 	lab := sharedLab(t)
-	res, err := IngestScale(lab)
+	res, err := IngestScale(context.Background(), lab)
 	if err != nil {
 		t.Fatal(err)
 	}

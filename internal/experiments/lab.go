@@ -188,7 +188,9 @@ func (l *Lab) harnessOpts() harness.Options {
 }
 
 // Dataset lazily generates and measures the synthetic training dataset.
-func (l *Lab) Dataset() (*dataset.Dataset, error) {
+// Cancelling ctx aborts a first-time measurement campaign; a cached dataset
+// is returned regardless.
+func (l *Lab) Dataset(ctx context.Context) (*dataset.Dataset, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.ds != nil {
@@ -203,7 +205,7 @@ func (l *Lab) Dataset() (*dataset.Dataset, error) {
 	for i, fn := range fns {
 		specs[i] = fn.Spec
 	}
-	ds, err := harness.BuildDataset(context.Background(), l.harnessOpts(), specs)
+	ds, err := harness.BuildDataset(ctx, l.harnessOpts(), specs)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: building dataset: %w", err)
 	}
@@ -230,8 +232,8 @@ func (l *Lab) modelConfig(base platform.MemorySize) core.ModelConfig {
 }
 
 // Model lazily trains (and caches) the predictor for a base size.
-func (l *Lab) Model(base platform.MemorySize) (*core.Model, error) {
-	ds, err := l.Dataset()
+func (l *Lab) Model(ctx context.Context, base platform.MemorySize) (*core.Model, error) {
+	ds, err := l.Dataset(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -240,7 +242,7 @@ func (l *Lab) Model(base platform.MemorySize) (*core.Model, error) {
 	if m, ok := l.models[base]; ok {
 		return m, nil
 	}
-	m, err := core.Train(context.Background(), ds, l.modelConfig(base))
+	m, err := core.Train(ctx, ds, l.modelConfig(base))
 	if err != nil {
 		return nil, fmt.Errorf("experiments: training base %v: %w", base, err)
 	}
@@ -251,8 +253,8 @@ func (l *Lab) Model(base platform.MemorySize) (*core.Model, error) {
 // Models trains (and caches) the predictors for several base sizes in one
 // shot through the shared training pool — the §4 multi-network workflow.
 // Cached bases are skipped; results align with bases.
-func (l *Lab) Models(bases ...platform.MemorySize) ([]*core.Model, error) {
-	ds, err := l.Dataset()
+func (l *Lab) Models(ctx context.Context, bases ...platform.MemorySize) ([]*core.Model, error) {
+	ds, err := l.Dataset(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -267,7 +269,7 @@ func (l *Lab) Models(bases ...platform.MemorySize) ([]*core.Model, error) {
 		}
 	}
 	if len(jobs) > 0 {
-		trained, err := core.TrainModels(context.Background(), jobs, l.Scale.Workers)
+		trained, err := core.TrainModels(ctx, jobs, l.Scale.Workers)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: training bases %v: %w", missing, err)
 		}
@@ -283,8 +285,9 @@ func (l *Lab) Models(bases ...platform.MemorySize) ([]*core.Model, error) {
 }
 
 // CaseStudies lazily measures the four applications at every memory size
-// with the scale's repetitions, honouring each app's drift.
-func (l *Lab) CaseStudies() ([]*CaseStudy, error) {
+// with the scale's repetitions, honouring each app's drift. Cancelling ctx
+// stops the campaign between functions.
+func (l *Lab) CaseStudies(ctx context.Context) ([]*CaseStudy, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.caseStudies != nil {
@@ -307,6 +310,9 @@ func (l *Lab) CaseStudies() ([]*CaseStudy, error) {
 			Measured: make(map[string]map[platform.MemorySize]monitoring.Summary, len(app.Functions)),
 		}
 		for _, spec := range app.Functions {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("experiments: case studies cancelled: %w", err)
+			}
 			per := make(map[platform.MemorySize]monitoring.Summary, 6)
 			for _, m := range l.Sizes() {
 				sum, err := harness.MeasureRepeated(opts, spec, m)

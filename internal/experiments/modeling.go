@@ -32,8 +32,8 @@ type FeatureSelectionResult struct {
 // round 1 over the 25 mean metrics (F0), round 2 over the round-1 selection
 // plus relative features (F2), round 3 over the round-2 selection plus
 // std/CoV features (F4).
-func FeatureSelection(lab *Lab, base platform.MemorySize, round1Keep, round2Keep, maxK int) (*FeatureSelectionResult, error) {
-	ds, err := lab.Dataset()
+func FeatureSelection(ctx context.Context, lab *Lab, base platform.MemorySize, round1Keep, round2Keep, maxK int) (*FeatureSelectionResult, error) {
+	ds, err := lab.Dataset(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -42,7 +42,7 @@ func FeatureSelection(lab *Lab, base platform.MemorySize, round1Keep, round2Keep
 	// evaluator, like any practical SFS implementation.
 	cfg.Hidden = []int{32}
 	cfg.Epochs = min(cfg.Epochs, 60)
-	eval := core.SFSEvaluator(context.Background(), cfg, 3, lab.Scale.Seed+11)
+	eval := core.SFSEvaluator(ctx, cfg, 3, lab.Scale.Seed+11)
 
 	targets := features.TargetSizes(ds.Sizes, base)
 	y, err := features.Targets(ds, base, targets)
@@ -154,8 +154,8 @@ type CVTableResult struct {
 }
 
 // CrossValidationTable runs k-fold CV per base memory size (Table 3).
-func CrossValidationTable(lab *Lab, k, iterations int) (*CVTableResult, error) {
-	ds, err := lab.Dataset()
+func CrossValidationTable(ctx context.Context, lab *Lab, k, iterations int) (*CVTableResult, error) {
+	ds, err := lab.Dataset(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -163,7 +163,7 @@ func CrossValidationTable(lab *Lab, k, iterations int) (*CVTableResult, error) {
 	bestMSE := -1.0
 	for _, base := range lab.Sizes() {
 		cfg := lab.modelConfig(base)
-		m, err := core.CrossValidate(context.Background(), ds, cfg, k, iterations, lab.Scale.Seed+17)
+		m, err := core.CrossValidate(ctx, ds, cfg, k, iterations, lab.Scale.Seed+17)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: table3 base %v: %w", base, err)
 		}
@@ -199,8 +199,8 @@ type GridSearchResult struct {
 // GridSearchTable runs the hyperparameter grid search (Table 2). The grid
 // defaults to the paper's full 1296-configuration grid at FullScale and a
 // reduced grid otherwise.
-func GridSearchTable(lab *Lab, grid *core.GridSpec, folds int) (*GridSearchResult, error) {
-	ds, err := lab.Dataset()
+func GridSearchTable(ctx context.Context, lab *Lab, grid *core.GridSpec, folds int) (*GridSearchResult, error) {
+	ds, err := lab.Dataset(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -211,7 +211,7 @@ func GridSearchTable(lab *Lab, grid *core.GridSpec, folds int) (*GridSearchResul
 		g = core.PaperGrid()
 	}
 	base := lab.modelConfig(platform.Mem256)
-	results, err := core.GridSearch(context.Background(), ds, base, g, folds, lab.Scale.Seed+23)
+	results, err := core.GridSearch(ctx, ds, base, g, folds, lab.Scale.Seed+23)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: table2: %w", err)
 	}
@@ -265,12 +265,12 @@ type PDPResult struct {
 
 // PartialDependencePlots computes the PDPs of the six most impactful
 // features for the base-128MB model, as in Fig. 5.
-func PartialDependencePlots(lab *Lab, points int) (*PDPResult, error) {
-	model, err := lab.Model(platform.Mem128)
+func PartialDependencePlots(ctx context.Context, lab *Lab, points int) (*PDPResult, error) {
+	model, err := lab.Model(ctx, platform.Mem128)
 	if err != nil {
 		return nil, err
 	}
-	ds, err := lab.Dataset()
+	ds, err := lab.Dataset(ctx)
 	if err != nil {
 		return nil, err
 	}

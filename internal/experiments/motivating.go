@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -64,7 +65,8 @@ type MotivatingResult struct {
 }
 
 // MotivatingExample measures the four §2 functions across all sizes.
-func MotivatingExample(lab *Lab) (*MotivatingResult, error) {
+// Cancelling ctx stops the sweep between measurements.
+func MotivatingExample(ctx context.Context, lab *Lab) (*MotivatingResult, error) {
 	pricing := lab.Pricing()
 	res := &MotivatingResult{
 		Sizes:  lab.Sizes(),
@@ -74,6 +76,9 @@ func MotivatingExample(lab *Lab) (*MotivatingResult, error) {
 	for _, spec := range MotivatingFunctions() {
 		per := make(map[platform.MemorySize]MotivatingPoint, len(res.Sizes))
 		for _, m := range res.Sizes {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("experiments: fig1 cancelled: %w", err)
+			}
 			sum, _, err := harness.Measure(opts, spec, m, 0)
 			if err != nil {
 				return nil, fmt.Errorf("experiments: fig1 %s at %v: %w", spec.Name, m, err)

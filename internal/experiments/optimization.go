@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -23,13 +24,13 @@ type SelectionRankingResult struct {
 // SelectionRanking applies the §3.5 optimizer to model predictions for all
 // 27 case-study functions and ranks the selections against the measured
 // optimum, for t ∈ {0.75, 0.5, 0.25}.
-func SelectionRanking(lab *Lab) (*SelectionRankingResult, error) {
+func SelectionRanking(ctx context.Context, lab *Lab) (*SelectionRankingResult, error) {
 	const base = platform.Mem256
-	model, err := lab.Model(base)
+	model, err := lab.Model(ctx, base)
 	if err != nil {
 		return nil, err
 	}
-	studies, err := lab.CaseStudies()
+	studies, err := lab.CaseStudies(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -123,13 +124,13 @@ type SavingsResult struct {
 // SavingsSpeedup quantifies the benefit of switching each function from
 // the monitored base size (256 MB) to the optimizer's selection, per
 // tradeoff parameter, averaged per application (Table 8).
-func SavingsSpeedup(lab *Lab) (*SavingsResult, error) {
+func SavingsSpeedup(ctx context.Context, lab *Lab) (*SavingsResult, error) {
 	const base = platform.Mem256
-	model, err := lab.Model(base)
+	model, err := lab.Model(ctx, base)
 	if err != nil {
 		return nil, err
 	}
-	studies, err := lab.CaseStudies()
+	studies, err := lab.CaseStudies(ctx)
 	if err != nil {
 		return nil, err
 	}

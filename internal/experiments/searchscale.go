@@ -64,8 +64,8 @@ func SearchGrid(epochs int) core.GridSpec {
 // scores configurations exactly as full-budget training would; the search
 // spends half the epochs and the winner lands within tolerance of the
 // exhaustive one.
-func SearchScale(l *Lab) (*SearchScaleResult, error) {
-	ds, err := l.Dataset()
+func SearchScale(ctx context.Context, l *Lab) (*SearchScaleResult, error) {
+	ds, err := l.Dataset(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -75,7 +75,6 @@ func SearchScale(l *Lab) (*SearchScaleResult, error) {
 	budget := min(l.Scale.Epochs, 120)
 	budget -= budget % 4
 	grid := SearchGrid(budget)
-	ctx := context.Background()
 	opts := core.HalvingOptions{Seed: l.Scale.Seed + 29}
 
 	start := time.Now()

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -11,7 +12,7 @@ import (
 // exhaustive winner's.
 func TestSearchScale(t *testing.T) {
 	lab := sharedLab(t)
-	res, err := SearchScale(lab)
+	res, err := SearchScale(context.Background(), lab)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -31,7 +31,7 @@ type StabilityResult struct {
 // StabilityAnalysis reproduces §3.3: generate functions, trace each for the
 // full window at the dataset-generation request rate, and test every
 // prefix against the full experiment with Mann-Whitney U.
-func StabilityAnalysis(lab *Lab) (*StabilityResult, error) {
+func StabilityAnalysis(ctx context.Context, lab *Lab) (*StabilityResult, error) {
 	scale := lab.Scale
 	gen := fngen.New(xrand.New(scale.Seed+2000), fngen.Options{})
 	fns, err := gen.Generate(scale.StabilityFunctions)
@@ -65,7 +65,7 @@ func StabilityAnalysis(lab *Lab) (*StabilityResult, error) {
 		Seed:     scale.Seed + 3,
 		Workers:  scale.Workers,
 	}
-	perFunction, err := harness.StabilityBatch(context.Background(), tOpts, sOpts, specs, platform.Mem256)
+	perFunction, err := harness.StabilityBatch(ctx, tOpts, sOpts, specs, platform.Mem256)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: fig3: %w", err)
 	}

@@ -40,8 +40,8 @@ type TrainScaleResult struct {
 // frozen-half fine-tune — the workflow trajectory behind BENCH_train.json.
 // Note that batch size changes the optimizer's step count, so the rows
 // compare engine throughput, not final model quality.
-func TrainScale(l *Lab) (*TrainScaleResult, error) {
-	ds, err := l.Dataset()
+func TrainScale(ctx context.Context, l *Lab) (*TrainScaleResult, error) {
+	ds, err := l.Dataset(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -49,7 +49,6 @@ func TrainScale(l *Lab) (*TrainScaleResult, error) {
 	cfg := l.modelConfig(base)
 	cfg.EnsembleSize = 1
 	cfg.Epochs = min(l.Scale.Epochs, 150)
-	ctx := context.Background()
 
 	res := &TrainScaleResult{Epochs: cfg.Epochs}
 	var model *core.Model

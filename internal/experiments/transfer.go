@@ -52,9 +52,9 @@ func upgradedEnv() *rt.Env {
 }
 
 // TransferLearning runs the A5 experiment.
-func TransferLearning(lab *Lab) (*TransferLearningResult, error) {
+func TransferLearning(ctx context.Context, lab *Lab) (*TransferLearningResult, error) {
 	const base = platform.Mem256
-	orig, err := lab.Model(base)
+	orig, err := lab.Model(ctx, base)
 	if err != nil {
 		return nil, err
 	}
@@ -98,11 +98,11 @@ func TransferLearning(lab *Lab) (*TransferLearningResult, error) {
 	if err != nil {
 		return nil, fmt.Errorf("experiments: transfer test set: %w", err)
 	}
-	adaptDS, err := harness.BuildDataset(context.Background(), newOpts, adaptSpecs)
+	adaptDS, err := harness.BuildDataset(ctx, newOpts, adaptSpecs)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: transfer adapt measurement: %w", err)
 	}
-	testDS, err := harness.BuildDataset(context.Background(), newOpts, testSpecs)
+	testDS, err := harness.BuildDataset(ctx, newOpts, testSpecs)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: transfer test measurement: %w", err)
 	}
@@ -115,7 +115,7 @@ func TransferLearning(lab *Lab) (*TransferLearningResult, error) {
 		return nil, err
 	}
 
-	tuned, err := core.FineTune(context.Background(), orig, adaptDS, core.FineTuneOptions{Epochs: scale.Epochs / 2})
+	tuned, err := core.FineTune(ctx, orig, adaptDS, core.FineTuneOptions{Epochs: scale.Epochs / 2})
 	if err != nil {
 		return nil, err
 	}
@@ -123,7 +123,7 @@ func TransferLearning(lab *Lab) (*TransferLearningResult, error) {
 		return nil, err
 	}
 
-	fresh, err := core.Train(context.Background(), adaptDS, lab.modelConfig(base))
+	fresh, err := core.Train(ctx, adaptDS, lab.modelConfig(base))
 	if err != nil {
 		return nil, err
 	}

@@ -89,7 +89,7 @@ type providerSets struct {
 // regret. All models share the providers' common memory grid so a single
 // network shape transfers across clouds. Defaults to the three built-in
 // providers when none are given.
-func TransferMatrix(lab *Lab, providers ...platform.Provider) (*TransferMatrixResult, error) {
+func TransferMatrix(ctx context.Context, lab *Lab, providers ...platform.Provider) (*TransferMatrixResult, error) {
 	if len(providers) == 0 {
 		providers = []platform.Provider{
 			platform.AWSLambda(), platform.GCPCloudFunctions(), platform.AzureFunctions(),
@@ -162,7 +162,7 @@ func TransferMatrix(lab *Lab, providers ...platform.Provider) (*TransferMatrixRe
 			o := opts
 			o.Seed += seedShift
 			o.Env = runtime.NewEnvFor(p.Platform())
-			return harness.BuildDataset(context.Background(), o, specs)
+			return harness.BuildDataset(ctx, o, specs)
 		}
 		sets[i].provider = p
 		if sets[i].train, err = measure(trainSpecs, 0); err != nil {
@@ -187,7 +187,7 @@ func TransferMatrix(lab *Lab, providers ...platform.Provider) (*TransferMatrixRe
 	for i := range sets {
 		jobs = append(jobs, core.TrainJob{Dataset: sets[i].adapt, Config: modelCfg})
 	}
-	models, err := core.TrainModels(context.Background(), jobs, scale.Workers)
+	models, err := core.TrainModels(ctx, jobs, scale.Workers)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: transfer-matrix training: %w", err)
 	}
@@ -214,7 +214,7 @@ func TransferMatrix(lab *Lab, providers ...platform.Provider) (*TransferMatrixRe
 	// model and its scores only read shared models, so the cells fan out
 	// over the worker pool in source-major order.
 	res.Cells = make([]TransferCell, len(sets)*len(sets))
-	err = pool.Run(context.Background(), len(res.Cells), scale.Workers, func(idx int) error {
+	err = pool.Run(ctx, len(res.Cells), scale.Workers, func(idx int) error {
 		src := sets[idx/len(sets)]
 		ti := idx % len(sets)
 		tgt := sets[ti]
@@ -238,7 +238,7 @@ func TransferMatrix(lab *Lab, providers ...platform.Provider) (*TransferMatrixRe
 			return fmt.Errorf("experiments: transfer-matrix %s→%s stale: %w", cell.Source, cell.Target, err)
 		}
 
-		tuned, err := core.FineTune(context.Background(), src.model, tgt.adapt, core.FineTuneOptions{
+		tuned, err := core.FineTune(ctx, src.model, tgt.adapt, core.FineTuneOptions{
 			Epochs:  tuneEpochs,
 			Source:  cell.Source,
 			Target:  cell.Target,

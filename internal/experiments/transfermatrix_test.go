@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 	"time"
@@ -27,7 +28,7 @@ func TestTransferMatrix(t *testing.T) {
 		t.Skip("transfer matrix runs nine measurement campaigns")
 	}
 	lab := NewLab(tinyMatrixScale())
-	res, err := TransferMatrix(lab)
+	res, err := TransferMatrix(context.Background(), lab)
 	if err != nil {
 		t.Fatal(err)
 	}

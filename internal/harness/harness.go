@@ -22,6 +22,7 @@ import (
 	"sizeless/internal/loadgen"
 	"sizeless/internal/monitoring"
 	"sizeless/internal/platform"
+	"sizeless/internal/pool"
 	rt "sizeless/internal/runtime"
 	"sizeless/internal/workload"
 	"sizeless/internal/xrand"
@@ -170,54 +171,34 @@ func BuildDataset(ctx context.Context, opts Options, specs []*workload.Spec) (*d
 		}
 	}
 
-	jobs := make(chan job)
+	// The campaign grid fans out over the shared bounded pool: job index j
+	// maps to (spec, size) row-major, each job writes only its own cell,
+	// and pool.Run stops claiming new cells when ctx is cancelled — the
+	// same bit-identical-for-any-worker-count contract as before, without a
+	// hand-rolled goroutine/channel loop.
 	total := len(specs) * len(opts.Sizes)
 	var mu sync.Mutex
-	var firstErr error
 	var done int
-	var wg sync.WaitGroup
-	for w := 0; w < opts.Workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for j := range jobs {
-				sum, err := MeasureRepeated(opts, j.spec, j.mem)
-				mu.Lock()
-				if err != nil {
-					if firstErr == nil {
-						firstErr = fmt.Errorf("harness: %s at %v: %w", j.spec.Name, j.mem, err)
-					}
-				} else {
-					ds.Rows[j.rowIdx].Summaries[j.mem] = sum
-					done++
-					if opts.Progress != nil {
-						opts.Progress(done, total)
-					}
-				}
-				mu.Unlock()
-			}
-		}()
-	}
-	cancelled := false
-submit:
-	for i, spec := range specs {
-		for _, m := range opts.Sizes {
-			select {
-			case jobs <- job{rowIdx: i, spec: spec, mem: m}:
-			case <-ctx.Done():
-				cancelled = true
-				break submit
-			}
+	err := pool.Run(ctx, total, opts.Workers, func(j int) error {
+		jb := job{rowIdx: j / len(opts.Sizes), spec: specs[j/len(opts.Sizes)], mem: opts.Sizes[j%len(opts.Sizes)]}
+		sum, err := MeasureRepeated(opts, jb.spec, jb.mem)
+		if err != nil {
+			return fmt.Errorf("harness: %s at %v: %w", jb.spec.Name, jb.mem, err)
 		}
-	}
-	close(jobs)
-	wg.Wait()
-
-	if cancelled {
-		return nil, fmt.Errorf("harness: campaign cancelled: %w", ctx.Err())
-	}
-	if firstErr != nil {
-		return nil, firstErr
+		mu.Lock()
+		ds.Rows[jb.rowIdx].Summaries[jb.mem] = sum
+		done++
+		if opts.Progress != nil {
+			opts.Progress(done, total)
+		}
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		if ctxErr := ctx.Err(); ctxErr != nil && errors.Is(err, ctxErr) {
+			return nil, fmt.Errorf("harness: campaign cancelled: %w", ctxErr)
+		}
+		return nil, err
 	}
 	if err := ds.Validate(); err != nil {
 		return nil, err

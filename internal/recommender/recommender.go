@@ -30,15 +30,14 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	goruntime "runtime"
 	"sort"
 	"sync"
-	"sync/atomic"
 
 	"sizeless/internal/core"
 	"sizeless/internal/monitoring"
 	"sizeless/internal/optimizer"
 	"sizeless/internal/platform"
+	"sizeless/internal/pool"
 )
 
 // Config tunes the service.
@@ -408,7 +407,7 @@ func (s *Service) Summarize() FleetSummary {
 // The returned map holds the status of every successfully ingested
 // function. A per-function error does not stop the rest of the batch; the
 // error for the first function (in sorted-ID order) that failed is
-// returned. Cancelling ctx applies backpressure: workers stop picking up
+// returned. Cancelling ctx applies backpressure: the pool stops picking up
 // new functions, already-ingested functions keep their committed state, and
 // functions whose recompute was cut off are rolled back — the batch then
 // returns what was processed along with the context's error.
@@ -429,56 +428,26 @@ func (s *Service) IngestBatch(ctx context.Context, batch map[string][]monitoring
 		return out, nil
 	}
 
-	workers := s.cfg.Workers
-	if workers <= 0 {
-		workers = goruntime.GOMAXPROCS(0)
-	}
-	if workers > len(ids) {
-		workers = len(ids)
-	}
-
-	var (
-		mu          sync.Mutex
-		firstErr    error
-		firstErrIdx = len(ids)
-		next        atomic.Int64
-		wg          sync.WaitGroup
-	)
-	fail := func(i int, err error) {
-		mu.Lock()
-		if i < firstErrIdx {
-			firstErr, firstErrIdx = err, i
+	// Fan out over the shared bounded pool: per-function ingests claim
+	// sorted IDs in index order, so pool.Run's lowest-index-error contract
+	// is exactly the "first function in sorted-ID order" guarantee above.
+	var mu sync.Mutex
+	err := pool.Run(ctx, len(ids), s.cfg.Workers, func(i int) error {
+		id := ids[i]
+		st, err := s.Ingest(ctx, id, batch[id])
+		if err != nil {
+			return err
 		}
+		mu.Lock()
+		out[id] = st
 		mu.Unlock()
-	}
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= len(ids) {
-					return
-				}
-				if err := ctx.Err(); err != nil {
-					fail(i, fmt.Errorf("recommender: batch ingest cancelled: %w", err))
-					return
-				}
-				id := ids[i]
-				st, err := s.Ingest(ctx, id, batch[id])
-				if err != nil {
-					fail(i, err)
-					continue
-				}
-				mu.Lock()
-				out[id] = st
-				mu.Unlock()
-			}
-		}()
-	}
-	wg.Wait()
-	if firstErr != nil {
-		return out, firstErr
+		return nil
+	})
+	if err != nil {
+		if ctxErr := ctx.Err(); ctxErr != nil && errors.Is(err, ctxErr) {
+			err = fmt.Errorf("recommender: batch ingest cancelled: %w", ctxErr)
+		}
+		return out, err
 	}
 	return out, nil
 }
