@@ -736,3 +736,80 @@ func BenchmarkSearchScale(b *testing.B) {
 		return experiments.SearchScale(ctx, l)
 	})
 }
+
+// ---- Temporal scenario-generation benchmarks ----
+
+// scenarioBenchProfile is the workload shape of the scenario-generation
+// gate: a diurnal baseline with two superposed spikes over a 10-minute
+// horizon (~12k arrivals) — rate discontinuities and a high crest, the
+// case that separates segment-wise thinning from naive time stepping.
+func scenarioBenchProfile() loadgen.Profile {
+	return loadgen.Superpose(
+		loadgen.DiurnalProfile{Base: 16, Amplitude: 12, Period: 5 * time.Minute},
+		loadgen.SpikeProfile{Start: 2 * time.Minute, Duration: 20 * time.Second, Magnitude: 120},
+		loadgen.SpikeProfile{Start: 6 * time.Minute, Duration: 15 * time.Second, Magnitude: 200},
+	)
+}
+
+const scenarioBenchHorizon = 10 * time.Minute
+
+// BenchmarkScenarioGen is the candidate of the BENCH_scenario.json gate:
+// non-homogeneous Poisson sampling via piecewise thinning — candidate
+// arrivals drawn at each segment's local rate bound, accepted with
+// probability λ(t)/bound.
+func BenchmarkScenarioGen(b *testing.B) {
+	p := scenarioBenchProfile()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sched, err := loadgen.Sample(p, scenarioBenchHorizon, xrand.New(1).Derive("gen"))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(sched) == 0 {
+			b.Fatal("empty schedule")
+		}
+	}
+}
+
+// naiveSample is the time-stepped reference sampler the gate's baseline
+// measures: walk the horizon in 1 ms bins and Bernoulli-draw one arrival
+// per bin at probability λ(t)·Δt — the textbook discretization a scenario
+// engine would ship without the thinning construction. It is statistically
+// equivalent for λ·Δt ≪ 1 but costs one rate evaluation and one draw per
+// bin regardless of traffic, where thinning costs one draw per *candidate
+// arrival*.
+func naiveSample(p loadgen.Profile, horizon time.Duration, rng *xrand.Stream) loadgen.Schedule {
+	const step = time.Millisecond
+	dt := step.Seconds()
+	var sched loadgen.Schedule
+	for t := time.Duration(0); t < horizon; t += step {
+		if rng.Bernoulli(p.Rate(t) * dt) {
+			sched = append(sched, t)
+		}
+	}
+	return sched
+}
+
+// BenchmarkScenarioGenNaive is the baseline of the BENCH_scenario.json
+// gate: the same profile sampled by 1 ms time stepping.
+func BenchmarkScenarioGenNaive(b *testing.B) {
+	p := scenarioBenchProfile()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sched := naiveSample(p, scenarioBenchHorizon, xrand.New(1).Derive("naive"))
+		if len(sched) == 0 {
+			b.Fatal("empty schedule")
+		}
+	}
+}
+
+// BenchmarkScenarioMatrix regenerates the non-stationary scenario lab
+// (traffic synthesis, warm-pool streaming, drift walks, policy scoring)
+// at lab scale.
+func BenchmarkScenarioMatrix(b *testing.B) {
+	runExperiment(b, func(ctx context.Context, l *experiments.Lab) (interface{ Render() string }, error) {
+		return experiments.ScenarioMatrix(ctx, l)
+	})
+}

@@ -10,7 +10,8 @@
 //
 // Experiment ids: fig1 fig3 fig4 fig5 table2 table3 fig6 table4-7 fig7
 // table8 baselines ablation-targets ablation-features ablation-increments
-// transfer transfer-matrix ingest-scale train-scale search-scale.
+// transfer transfer-matrix ingest-scale train-scale search-scale
+// scenario-matrix.
 //
 // "transfer-matrix" goes beyond the paper: it trains a model per built-in
 // provider and scores every source→target pair under the stale, fine-tuned
@@ -32,6 +33,14 @@
 // budget) and by successive halving (train 1/4 of the budget, keep the
 // best half, double, repeat), compared on winner quality and total epochs
 // spent (the trajectory behind BENCH_search.json).
+//
+// "scenario-matrix" runs the non-stationary scenario lab: stationary,
+// diurnal, spiky, spiky-with-injected-shift, sparse, and trace-replay
+// traffic sampled as non-homogeneous Poisson processes, streamed through a
+// keep-alive warm-pool cold-start model, and scored on drift-detector
+// false positives and latency, recomputation-policy cost regret, and
+// per-provider cold-start billing overhead (the trajectory behind
+// BENCH_scenario.json).
 package main
 
 import (
@@ -117,6 +126,9 @@ func runners() []experimentRunner {
 		}},
 		{"search-scale", func(ctx context.Context, lab *experiments.Lab) (renderable, error) {
 			return experiments.SearchScale(ctx, lab)
+		}},
+		{"scenario-matrix", func(ctx context.Context, lab *experiments.Lab) (renderable, error) {
+			return experiments.ScenarioMatrix(ctx, lab)
 		}},
 	}
 }

@@ -10,7 +10,8 @@ func TestKnownIDs(t *testing.T) {
 	for _, id := range []string{"fig1", "fig3", "fig4", "fig5", "table2", "table3",
 		"fig6", "table4-7", "fig7", "table8", "baselines",
 		"ablation-targets", "ablation-features", "ablation-increments", "transfer",
-		"transfer-matrix", "ingest-scale"} {
+		"transfer-matrix", "ingest-scale", "train-scale", "search-scale",
+		"scenario-matrix"} {
 		if !knownID(id) {
 			t.Errorf("experiment id %q not registered", id)
 		}

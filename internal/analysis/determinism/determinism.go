@@ -45,9 +45,11 @@ var seedSinks = map[string]bool{
 }
 
 // numericScoped reports whether the map-order rule applies: the packages
-// whose float pipelines feed the bit-exact results.
+// whose float pipelines feed the bit-exact results. internal/loadgen is in
+// scope because schedule sampling must be bit-identical per seed — the
+// scenario lab's byte-for-byte reproducibility rests on it.
 func numericScoped(path string) bool {
-	for _, seg := range []string{"internal/nn", "internal/core", "internal/stats", "internal/xrand"} {
+	for _, seg := range []string{"internal/nn", "internal/core", "internal/stats", "internal/xrand", "internal/loadgen"} {
 		if analysis.PathHasSegment(path, seg) {
 			return true
 		}

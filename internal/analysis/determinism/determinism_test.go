@@ -10,6 +10,8 @@ import (
 func TestAnalyzer(t *testing.T) {
 	// c/internal/nn: numeric-scoped violations plus a suppressed exception.
 	// c/internal/util: outside the numeric scope, asserted silent.
+	// c/internal/loadgen: the scenario engine's scope — seedless draws and
+	// map-order schedule assembly flagged.
 	analysistest.Run(t, analysistest.TestData(t), determinism.Analyzer,
-		"c/internal/nn", "c/internal/util")
+		"c/internal/nn", "c/internal/util", "c/internal/loadgen")
 }

@@ -1,0 +1,38 @@
+// Package loadgen sits in a numeric-scoped path (segment internal/loadgen):
+// arrival-schedule generators must be bit-identical per seed, so the
+// seedless-randomness and map-order rules both apply.
+package loadgen
+
+import (
+	"math/rand"
+)
+
+// Gap draws an inter-arrival gap from the shared seedless source — the
+// exact bug the scenario engine's determinism guarantee forbids.
+func Gap(rate float64) float64 {
+	return rand.ExpFloat64() / rate // want `seedless global math/rand\.ExpFloat64`
+}
+
+// TotalRate accumulates profile rates in map-iteration order.
+func TotalRate(parts map[string]float64) float64 {
+	var total float64
+	for _, r := range parts {
+		total += r // want `float accumulation into total in map-iteration order`
+	}
+	return total
+}
+
+// CollectOffsets appends breakpoints to an outer slice in map-iteration
+// order — schedules built this way differ run to run.
+func CollectOffsets(parts map[string]float64) []string {
+	var offsets []string
+	for name := range parts {
+		offsets = append(offsets, name) // want `append to offsets in map-iteration order`
+	}
+	return offsets
+}
+
+// SeededGap is the sanctioned pattern: an explicit seeded source.
+func SeededGap(seed int64, rate float64) float64 {
+	return rand.New(rand.NewSource(seed)).ExpFloat64() / rate
+}

@@ -20,12 +20,18 @@ import (
 func Window(rng *xrand.Stream, n int, scale float64) []monitoring.Invocation {
 	invs := make([]monitoring.Invocation, n)
 	for i := range invs {
-		for id := 0; id < monitoring.NumMetrics; id++ {
-			invs[i].Metrics[id] = rng.LogNormal(10*scale, 0.2)
-		}
-		invs[i].Metrics[monitoring.ExecutionTime] = rng.LogNormal(150*scale, 0.15)
+		fill(rng, &invs[i], scale)
 	}
 	return invs
+}
+
+// fill draws one invocation's metric vector at the given scale — the single
+// definition of the synthetic workload shape shared by Window and Stream.
+func fill(rng *xrand.Stream, inv *monitoring.Invocation, scale float64) {
+	for id := 0; id < monitoring.NumMetrics; id++ {
+		inv.Metrics[id] = rng.LogNormal(10*scale, 0.2)
+	}
+	inv.Metrics[monitoring.ExecutionTime] = rng.LogNormal(150*scale, 0.15)
 }
 
 // Batch fabricates one window per function for a synthetic fleet, keyed

@@ -1,0 +1,135 @@
+package fleetsynth
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"sizeless/internal/loadgen"
+	"sizeless/internal/monitoring"
+	"sizeless/internal/xrand"
+)
+
+// StreamConfig shapes how a loadgen schedule becomes per-window monitoring
+// batches.
+type StreamConfig struct {
+	// Horizon is the virtual-time extent of the run; arrivals at or beyond
+	// it are dropped. Required.
+	Horizon time.Duration
+	// Window is the monitoring-window length; arrival t lands in window
+	// int(t/Window). Required.
+	Window time.Duration
+	// KeepAlive is the warm-instance idle reclamation threshold — the
+	// platform's keep-alive window. Instances idle longer are reaped, so
+	// the next arrival pays a cold start. Zero or negative means instances
+	// are never reclaimed (only the first arrival is cold).
+	KeepAlive time.Duration
+	// Scale multiplies the synthetic metric magnitudes (see Window); values
+	// <= 0 default to 1.
+	Scale float64
+	// ScaleAt optionally overrides the metric scale per window index,
+	// multiplying Scale — the hook scenario labs use to inject a
+	// distribution shift mid-run. Nil means no override.
+	ScaleAt func(window int) float64
+}
+
+// Stream slices an arrival schedule into per-window invocation batches with
+// a load-dependent cold-start model: a warm pool in the style of
+// internal/lambda (idle-gap reclamation after KeepAlive, LIFO routing to
+// the most recently used warm instance, a new cold instance when none is
+// idle). Sparse traffic therefore pays cold starts on idle gaps, spikes pay
+// them on concurrency growth, and steady moderate traffic stays warm —
+// cold-start frequency tracks the workload shape rather than a fixed
+// fraction.
+//
+// Metric vectors come from the same lognormal generator as Window, drawn in
+// arrival order from rng, so identical (schedule, config, stream) inputs
+// yield bit-identical batches. Every window in [0, Horizon) is present in
+// the result, empty windows included — drift walks index windows by time,
+// not by traffic.
+func Stream(rng *xrand.Stream, sched loadgen.Schedule, cfg StreamConfig) ([][]monitoring.Invocation, error) {
+	if rng == nil {
+		return nil, errors.New("fleetsynth: nil random stream")
+	}
+	if cfg.Horizon <= 0 || cfg.Window <= 0 {
+		return nil, fmt.Errorf("fleetsynth: horizon %v and window %v must be positive", cfg.Horizon, cfg.Window)
+	}
+	scale := cfg.Scale
+	if scale <= 0 {
+		scale = 1
+	}
+	nWindows := int((cfg.Horizon + cfg.Window - 1) / cfg.Window)
+	out := make([][]monitoring.Invocation, nWindows)
+
+	arrivals := append(loadgen.Schedule(nil), sched...)
+	sort.Slice(arrivals, func(i, j int) bool { return arrivals[i] < arrivals[j] })
+
+	// Warm pool: busyUntil/lastUsed per instance, mirroring
+	// lambda.Deployment's instanceState without the runtime simulator.
+	type slot struct {
+		busyUntil time.Duration
+		lastUsed  time.Duration
+	}
+	var pool []*slot
+	for _, t := range arrivals {
+		if t < 0 || t >= cfg.Horizon {
+			continue
+		}
+		w := int(t / cfg.Window)
+
+		// Reap instances idle beyond the keep-alive window.
+		if cfg.KeepAlive > 0 {
+			kept := pool[:0]
+			for _, s := range pool {
+				if s.busyUntil <= t && t-s.lastUsed > cfg.KeepAlive {
+					continue
+				}
+				kept = append(kept, s)
+			}
+			pool = kept
+		}
+
+		// LIFO warm routing: most recently used idle instance.
+		var warm *slot
+		for _, s := range pool {
+			if s.busyUntil > t {
+				continue
+			}
+			if warm == nil || s.lastUsed > warm.lastUsed {
+				warm = s
+			}
+		}
+		cold := warm == nil
+		if cold {
+			warm = &slot{}
+			pool = append(pool, warm)
+		}
+
+		ws := scale
+		if cfg.ScaleAt != nil {
+			if f := cfg.ScaleAt(w); f > 0 {
+				ws *= f
+			}
+		}
+		inv := monitoring.Invocation{Start: t, ColdStart: cold}
+		fill(rng, &inv, ws)
+		inv.Duration = time.Duration(inv.Metrics[monitoring.ExecutionTime] * float64(time.Millisecond))
+
+		warm.busyUntil = t + inv.Duration
+		warm.lastUsed = warm.busyUntil
+		out[w] = append(out[w], inv)
+	}
+	return out, nil
+}
+
+// ColdStarts counts the cold-start invocations in a window.
+func ColdStarts(window []monitoring.Invocation) int {
+	n := 0
+	for _, inv := range window {
+		if inv.ColdStart {
+			n++
+		}
+	}
+	return n
+}

@@ -2,6 +2,14 @@
 // time — the role Vegeta plays in the paper's measurement harness (§3.3).
 // The dataset-generation workload is "30 requests per second with an
 // exponentially distributed inter-arrival time", i.e. a Poisson process.
+//
+// Beyond the stationary generators (Poisson, Constant, Burst), the package
+// is a temporal scenario engine: a composable Profile spec (constant,
+// ramp, diurnal sinusoid, spikes, superposition, scaling — see profile.go)
+// sampled as a non-homogeneous Poisson process via thinning, plus
+// recorded-trace replay through ParseTrace (trace.go). All sampling is
+// deterministic per xrand seed: identical seeds yield bit-identical
+// schedules.
 package loadgen
 
 import (
@@ -60,7 +68,15 @@ func Burst(size int, rest Schedule) Schedule {
 }
 
 // Rate estimates the average request rate of the schedule in requests per
-// second. It returns 0 for schedules with fewer than two arrivals.
+// second from the span between its first and last arrival. It returns 0 for
+// schedules with fewer than two arrivals or zero span.
+//
+// Because the span excludes any idle time before the first and after the
+// last arrival, Rate misreports bursty or short schedules: a 5-arrival
+// burst at t=0 inside a 10-minute horizon has zero span (Rate = 0), and a
+// schedule whose arrivals cluster early reports a rate far above the true
+// horizon average. Use RateOver with the experiment horizon whenever the
+// horizon is known.
 func (s Schedule) Rate() float64 {
 	if len(s) < 2 {
 		return 0
@@ -70,4 +86,15 @@ func (s Schedule) Rate() float64 {
 		return 0
 	}
 	return float64(len(s)-1) / span.Seconds()
+}
+
+// RateOver returns the average request rate of the schedule over an
+// explicit horizon d — arrivals divided by duration — which is well-defined
+// for bursty, sparse, and single-arrival schedules where the span-based
+// Rate degenerates. It returns 0 for a non-positive horizon.
+func (s Schedule) RateOver(d time.Duration) float64 {
+	if d <= 0 {
+		return 0
+	}
+	return float64(len(s)) / d.Seconds()
 }

@@ -27,7 +27,7 @@ func TestPoissonRateAndOrdering(t *testing.T) {
 	if sched[len(sched)-1] >= 10*time.Minute {
 		t.Error("arrival beyond experiment duration")
 	}
-	if rate := sched.Rate(); math.Abs(rate-30)/30 > 0.05 {
+	if rate := sched.RateOver(10 * time.Minute); math.Abs(rate-30)/30 > 0.05 {
 		t.Errorf("estimated rate = %v, want ~30", rate)
 	}
 }
@@ -105,6 +105,30 @@ func TestRateDegenerate(t *testing.T) {
 	}
 	if got := (Schedule{0, 0}).Rate(); got != 0 {
 		t.Errorf("zero-span schedule rate = %v", got)
+	}
+}
+
+func TestRateOver(t *testing.T) {
+	// The span-based Rate degenerates on a pure burst (zero span); the
+	// horizon-aware RateOver reports the true average.
+	burst := Burst(600, nil)
+	if got := burst.Rate(); got != 0 {
+		t.Errorf("burst span-based rate = %v, want 0 (degenerate)", got)
+	}
+	if got := burst.RateOver(time.Minute); got != 10 {
+		t.Errorf("burst RateOver(1m) = %v, want 10", got)
+	}
+	if got := (Schedule{time.Second}).RateOver(2 * time.Second); got != 0.5 {
+		t.Errorf("single-arrival RateOver = %v, want 0.5", got)
+	}
+	if got := (Schedule{}).RateOver(time.Minute); got != 0 {
+		t.Errorf("empty RateOver = %v, want 0", got)
+	}
+	if got := burst.RateOver(0); got != 0 {
+		t.Errorf("RateOver(0) = %v, want 0", got)
+	}
+	if got := burst.RateOver(-time.Second); got != 0 {
+		t.Errorf("RateOver(<0) = %v, want 0", got)
 	}
 }
 

@@ -1,0 +1,438 @@
+package loadgen
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"sizeless/internal/xrand"
+)
+
+// Profile is a time-varying arrival-rate specification λ(t): the workload
+// shape of a scenario, decoupled from the stochastic arrival process that
+// realizes it. Profiles compose — Superpose sums shapes, ScaleProfile
+// multiplies one — and every implementation carries its own analytic rate
+// integral, so tests can compare realized arrival counts against the exact
+// expectation Λ(t0,t1) instead of a Monte-Carlo estimate.
+//
+// All rates are in requests per second of virtual time and must be
+// non-negative and finite over the sampled horizon.
+type Profile interface {
+	// Rate returns the instantaneous arrival rate at offset t.
+	Rate(t time.Duration) float64
+	// Integral returns the integrated rate function Λ(t0,t1) = ∫λ(t)dt —
+	// the expected number of arrivals in [t0, t1]. Requires t0 <= t1.
+	Integral(t0, t1 time.Duration) float64
+	// MaxRate returns an upper bound of Rate over [t0, t1]. The thinning
+	// sampler's correctness depends on this bound: it must dominate the
+	// rate everywhere in the interval (it need not be tight).
+	MaxRate(t0, t1 time.Duration) float64
+	// Breakpoints appends to dst every offset in (0, d) at which the
+	// profile's rate (or its MaxRate envelope) changes discontinuously.
+	// The sampler thins each segment between breakpoints under its own
+	// local bound, so a short tall spike does not inflate the candidate
+	// rate of the whole horizon.
+	Breakpoints(d time.Duration, dst []time.Duration) []time.Duration
+	// Validate reports whether the profile's parameters are well-formed
+	// (finite, non-negative rates; positive periods and durations).
+	Validate() error
+}
+
+// finiteNonNeg reports whether v is a finite, non-negative float.
+func finiteNonNeg(v float64) bool {
+	return !math.IsNaN(v) && !math.IsInf(v, 0) && v >= 0
+}
+
+// ConstantProfile is a stationary rate: λ(t) = RPS. Sampling it yields the
+// homogeneous Poisson workload of the paper's measurement harness (§3.3).
+type ConstantProfile struct {
+	// RPS is the arrival rate in requests per second.
+	RPS float64
+}
+
+// Rate implements Profile.
+func (p ConstantProfile) Rate(time.Duration) float64 { return p.RPS }
+
+// Integral implements Profile.
+func (p ConstantProfile) Integral(t0, t1 time.Duration) float64 {
+	return p.RPS * (t1 - t0).Seconds()
+}
+
+// MaxRate implements Profile.
+func (p ConstantProfile) MaxRate(t0, t1 time.Duration) float64 { return p.RPS }
+
+// Breakpoints implements Profile.
+func (p ConstantProfile) Breakpoints(d time.Duration, dst []time.Duration) []time.Duration {
+	return dst
+}
+
+// Validate implements Profile.
+func (p ConstantProfile) Validate() error {
+	if !finiteNonNeg(p.RPS) {
+		return fmt.Errorf("loadgen: constant profile rate %v must be finite and non-negative", p.RPS)
+	}
+	return nil
+}
+
+// RampProfile ramps linearly from From to To over the first Over of the
+// horizon and holds To afterwards — the warm-up (or drain-down) phase of a
+// deployment.
+type RampProfile struct {
+	// From and To are the endpoint rates in requests per second.
+	From, To float64
+	// Over is the ramp duration; the rate holds at To beyond it.
+	Over time.Duration
+}
+
+// Rate implements Profile.
+func (p RampProfile) Rate(t time.Duration) float64 {
+	if t <= 0 {
+		return p.From
+	}
+	if t >= p.Over {
+		return p.To
+	}
+	return p.From + (p.To-p.From)*(float64(t)/float64(p.Over))
+}
+
+// Integral implements Profile.
+func (p RampProfile) Integral(t0, t1 time.Duration) float64 {
+	// Piecewise: linear on [0, Over], constant after. The linear part's
+	// integral is the trapezoid between the endpoint rates.
+	var total float64
+	if t0 < p.Over {
+		hi := t1
+		if hi > p.Over {
+			hi = p.Over
+		}
+		total += (p.Rate(t0) + p.Rate(hi)) / 2 * (hi - t0).Seconds()
+	}
+	if t1 > p.Over {
+		lo := t0
+		if lo < p.Over {
+			lo = p.Over
+		}
+		total += p.To * (t1 - lo).Seconds()
+	}
+	return total
+}
+
+// MaxRate implements Profile. The rate is monotone up to Over and constant
+// after, so the maximum over any interval sits at an endpoint.
+func (p RampProfile) MaxRate(t0, t1 time.Duration) float64 {
+	return math.Max(p.Rate(t0), p.Rate(t1))
+}
+
+// Breakpoints implements Profile.
+func (p RampProfile) Breakpoints(d time.Duration, dst []time.Duration) []time.Duration {
+	if p.Over > 0 && p.Over < d {
+		dst = append(dst, p.Over)
+	}
+	return dst
+}
+
+// Validate implements Profile.
+func (p RampProfile) Validate() error {
+	if !finiteNonNeg(p.From) || !finiteNonNeg(p.To) {
+		return fmt.Errorf("loadgen: ramp endpoints (%v → %v) must be finite and non-negative", p.From, p.To)
+	}
+	if p.Over <= 0 {
+		return fmt.Errorf("loadgen: ramp duration %v must be positive", p.Over)
+	}
+	return nil
+}
+
+// DiurnalProfile is a sinusoidal day/night cycle:
+//
+//	λ(t) = Base + Amplitude·sin(2π·(t+Phase)/Period)
+//
+// Amplitude must not exceed Base, so the rate stays non-negative and the
+// integral stays analytic (no clamping). Phase shifts where in the cycle
+// the horizon starts.
+type DiurnalProfile struct {
+	// Base is the mean rate in requests per second.
+	Base float64
+	// Amplitude is the peak deviation from Base; 0 <= Amplitude <= Base.
+	Amplitude float64
+	// Period is the cycle length (24h for a true diurnal cycle; scenario
+	// labs compress it to minutes).
+	Period time.Duration
+	// Phase offsets the cycle start.
+	Phase time.Duration
+}
+
+// Rate implements Profile.
+func (p DiurnalProfile) Rate(t time.Duration) float64 {
+	return p.Base + p.Amplitude*math.Sin(2*math.Pi*(t+p.Phase).Seconds()/p.Period.Seconds())
+}
+
+// Integral implements Profile.
+func (p DiurnalProfile) Integral(t0, t1 time.Duration) float64 {
+	period := p.Period.Seconds()
+	w := 2 * math.Pi / period
+	s0 := (t0 + p.Phase).Seconds()
+	s1 := (t1 + p.Phase).Seconds()
+	return p.Base*(t1-t0).Seconds() + p.Amplitude/w*(math.Cos(w*s0)-math.Cos(w*s1))
+}
+
+// MaxRate implements Profile. The crest Base+Amplitude bounds the sinusoid
+// everywhere; tighter per-interval bounds would buy little, since the bound
+// is at most 2× the mean.
+func (p DiurnalProfile) MaxRate(t0, t1 time.Duration) float64 {
+	return p.Base + p.Amplitude
+}
+
+// Breakpoints implements Profile.
+func (p DiurnalProfile) Breakpoints(d time.Duration, dst []time.Duration) []time.Duration {
+	return dst
+}
+
+// Validate implements Profile.
+func (p DiurnalProfile) Validate() error {
+	if !finiteNonNeg(p.Base) || !finiteNonNeg(p.Amplitude) {
+		return fmt.Errorf("loadgen: diurnal base %v and amplitude %v must be finite and non-negative", p.Base, p.Amplitude)
+	}
+	if p.Amplitude > p.Base {
+		return fmt.Errorf("loadgen: diurnal amplitude %v exceeds base %v (rate would go negative)", p.Amplitude, p.Base)
+	}
+	if p.Period <= 0 {
+		return fmt.Errorf("loadgen: diurnal period %v must be positive", p.Period)
+	}
+	return nil
+}
+
+// SpikeProfile adds Magnitude requests per second during
+// [Start, Start+Duration) and nothing elsewhere. Spikes are meant to be
+// superposed on a baseline profile:
+//
+//	Superpose(ConstantProfile{RPS: 8}, SpikeProfile{Start: 2*time.Minute, Duration: 20*time.Second, Magnitude: 120})
+type SpikeProfile struct {
+	// Start is when the spike begins.
+	Start time.Duration
+	// Duration is how long it lasts.
+	Duration time.Duration
+	// Magnitude is the added rate in requests per second.
+	Magnitude float64
+}
+
+func (p SpikeProfile) end() time.Duration { return p.Start + p.Duration }
+
+// Rate implements Profile.
+func (p SpikeProfile) Rate(t time.Duration) float64 {
+	if t >= p.Start && t < p.end() {
+		return p.Magnitude
+	}
+	return 0
+}
+
+// Integral implements Profile.
+func (p SpikeProfile) Integral(t0, t1 time.Duration) float64 {
+	lo, hi := t0, t1
+	if lo < p.Start {
+		lo = p.Start
+	}
+	if hi > p.end() {
+		hi = p.end()
+	}
+	if hi <= lo {
+		return 0
+	}
+	return p.Magnitude * (hi - lo).Seconds()
+}
+
+// MaxRate implements Profile.
+func (p SpikeProfile) MaxRate(t0, t1 time.Duration) float64 {
+	if t1 <= p.Start || t0 >= p.end() {
+		return 0
+	}
+	return p.Magnitude
+}
+
+// Breakpoints implements Profile.
+func (p SpikeProfile) Breakpoints(d time.Duration, dst []time.Duration) []time.Duration {
+	if p.Start > 0 && p.Start < d {
+		dst = append(dst, p.Start)
+	}
+	if e := p.end(); e > 0 && e < d {
+		dst = append(dst, e)
+	}
+	return dst
+}
+
+// Validate implements Profile.
+func (p SpikeProfile) Validate() error {
+	if !finiteNonNeg(p.Magnitude) {
+		return fmt.Errorf("loadgen: spike magnitude %v must be finite and non-negative", p.Magnitude)
+	}
+	if p.Start < 0 || p.Duration <= 0 {
+		return fmt.Errorf("loadgen: spike at %v for %v must have non-negative start and positive duration", p.Start, p.Duration)
+	}
+	return nil
+}
+
+// Superpose sums the rates of several profiles: λ(t) = Σλᵢ(t). The sum of
+// independent Poisson processes is a Poisson process with the summed rate,
+// so the superposition's arrival counts are additive in expectation — the
+// property the generator test suite asserts.
+func Superpose(parts ...Profile) Profile {
+	return superposed{parts: parts}
+}
+
+type superposed struct{ parts []Profile }
+
+func (p superposed) Rate(t time.Duration) float64 {
+	var sum float64
+	for _, part := range p.parts {
+		sum += part.Rate(t)
+	}
+	return sum
+}
+
+func (p superposed) Integral(t0, t1 time.Duration) float64 {
+	var sum float64
+	for _, part := range p.parts {
+		sum += part.Integral(t0, t1)
+	}
+	return sum
+}
+
+func (p superposed) MaxRate(t0, t1 time.Duration) float64 {
+	var sum float64
+	for _, part := range p.parts {
+		sum += part.MaxRate(t0, t1)
+	}
+	return sum
+}
+
+func (p superposed) Breakpoints(d time.Duration, dst []time.Duration) []time.Duration {
+	for _, part := range p.parts {
+		dst = part.Breakpoints(d, dst)
+	}
+	return dst
+}
+
+func (p superposed) Validate() error {
+	if len(p.parts) == 0 {
+		return errors.New("loadgen: superposition of zero profiles")
+	}
+	for i, part := range p.parts {
+		if part == nil {
+			return fmt.Errorf("loadgen: superposition part %d is nil", i)
+		}
+		if err := part.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ScaleProfile multiplies a profile's rate by a non-negative factor —
+// the "same shape, more traffic" knob of a scenario sweep.
+func ScaleProfile(p Profile, factor float64) Profile {
+	return scaledProfile{p: p, factor: factor}
+}
+
+type scaledProfile struct {
+	p      Profile
+	factor float64
+}
+
+func (p scaledProfile) Rate(t time.Duration) float64 { return p.factor * p.p.Rate(t) }
+
+func (p scaledProfile) Integral(t0, t1 time.Duration) float64 {
+	return p.factor * p.p.Integral(t0, t1)
+}
+
+func (p scaledProfile) MaxRate(t0, t1 time.Duration) float64 {
+	return p.factor * p.p.MaxRate(t0, t1)
+}
+
+func (p scaledProfile) Breakpoints(d time.Duration, dst []time.Duration) []time.Duration {
+	return p.p.Breakpoints(d, dst)
+}
+
+func (p scaledProfile) Validate() error {
+	if p.p == nil {
+		return errors.New("loadgen: scaling a nil profile")
+	}
+	if !finiteNonNeg(p.factor) {
+		return fmt.Errorf("loadgen: scale factor %v must be finite and non-negative", p.factor)
+	}
+	return p.p.Validate()
+}
+
+// MaxExpectedArrivals bounds the expected arrival count of one sampled
+// schedule. Sample rejects profiles whose integrated rate exceeds it, so a
+// corrupted trace or a misplaced unit (requests per millisecond instead of
+// per second) fails fast instead of allocating gigabytes.
+const MaxExpectedArrivals = 10 << 20
+
+// Sample realizes a profile as one arrival schedule over [0, duration): a
+// non-homogeneous Poisson process sampled by thinning (Lewis & Shedler).
+// The horizon is cut at every profile breakpoint; within each segment,
+// candidate arrivals are drawn from a homogeneous process at the segment's
+// MaxRate bound and accepted with probability Rate(t)/MaxRate, which yields
+// exactly the inhomogeneous process with intensity λ(t).
+//
+// Sampling is deterministic per rng stream: identical (profile, duration,
+// seed) triples produce bit-identical schedules.
+func Sample(p Profile, duration time.Duration, rng *xrand.Stream) (Schedule, error) {
+	if p == nil {
+		return nil, errors.New("loadgen: nil profile")
+	}
+	if duration <= 0 {
+		return nil, ErrBadRate
+	}
+	if rng == nil {
+		return nil, errors.New("loadgen: nil random stream")
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	expected := p.Integral(0, duration)
+	if math.IsNaN(expected) || math.IsInf(expected, 0) || expected < 0 {
+		return nil, fmt.Errorf("loadgen: profile integral over %v is %v, want finite and non-negative", duration, expected)
+	}
+	if expected > MaxExpectedArrivals {
+		return nil, fmt.Errorf("loadgen: profile expects %.0f arrivals over %v, above the %d cap", expected, duration, MaxExpectedArrivals)
+	}
+
+	segs := segmentBoundaries(p, duration)
+	sched := make(Schedule, 0, int(expected)+16)
+	prev := time.Duration(0)
+	for _, b := range segs {
+		bound := p.MaxRate(prev, b)
+		if bound > 0 {
+			meanGap := float64(time.Second) / bound
+			t := prev + time.Duration(rng.Exponential(meanGap))
+			for t < b {
+				if rng.Float64()*bound < p.Rate(t) {
+					sched = append(sched, t)
+				}
+				t += time.Duration(rng.Exponential(meanGap))
+			}
+		}
+		prev = b
+	}
+	return sched, nil
+}
+
+// segmentBoundaries returns the ascending segment end offsets (0, d]:
+// the profile's in-range breakpoints, deduplicated, plus the horizon.
+func segmentBoundaries(p Profile, d time.Duration) []time.Duration {
+	bps := p.Breakpoints(d, nil)
+	sort.Slice(bps, func(i, j int) bool { return bps[i] < bps[j] })
+	segs := make([]time.Duration, 0, len(bps)+1)
+	for _, b := range bps {
+		if b <= 0 || b >= d {
+			continue
+		}
+		if len(segs) > 0 && segs[len(segs)-1] == b {
+			continue
+		}
+		segs = append(segs, b)
+	}
+	return append(segs, d)
+}
