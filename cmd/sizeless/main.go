@@ -5,6 +5,7 @@
 //	sizeless recommend -model model.json -dataset dataset.csv -function synthetic-0007 -t 0.75
 //	sizeless recommend ... -provider gcp-cloudfunctions
 //	sizeless adapt -model model.json -dataset gcp-small.csv -provider gcp-cloudfunctions -out adapted.json
+//	sizeless serve -model model.json -addr :8080 -snapshot fleet.snap
 //	sizeless demo -provider azure-functions
 //	sizeless providers
 //
@@ -18,12 +19,18 @@
 // quantify stale vs adapted accuracy on a held-out target dataset, and
 // -patience N to early-stop the fine-tune on a validation split instead of
 // burning the whole epoch budget — the guard against overfitting tiny
-// adaptation datasets). "train" and "adapt" both honour -patience/-valsplit. "demo"
+// adaptation datasets). "train" and "adapt" both honour -patience/-valsplit.
+// "serve" runs the fleet-recommendation daemon: an HTTP API over the sharded
+// recommender service with bounded ingest queues (429 + Retry-After under
+// saturation), periodic + shutdown fleet snapshots restored on restart, and
+// an optional drift-triggered auto-adaptation loop (-adapt-dataset). "demo"
 // runs the whole pipeline end-to-end at a small scale on the selected
 // provider. "providers" lists the registered platforms.
 //
-// Every subcommand honours Ctrl-C: measurement campaigns and training stop
-// at the next experiment/epoch boundary.
+// Every subcommand honours Ctrl-C and SIGTERM: measurement campaigns and
+// training stop at the next experiment/epoch boundary, and the serve
+// daemon drains its queues and writes a final snapshot before exiting —
+// the signal a process supervisor sends is the graceful-shutdown path.
 package main
 
 import (
@@ -33,6 +40,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"syscall"
 	"time"
 
 	"sizeless"
@@ -40,10 +48,11 @@ import (
 	"sizeless/internal/dataset"
 	"sizeless/internal/monitoring"
 	"sizeless/internal/platform"
+	"sizeless/internal/serve"
 )
 
 func main() {
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	if err := run(ctx, os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "sizeless:", err)
@@ -53,7 +62,7 @@ func main() {
 
 func run(ctx context.Context, args []string) error {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: sizeless <train|evaluate|recommend|adapt|demo|providers> [flags]")
+		return fmt.Errorf("usage: sizeless <train|evaluate|recommend|adapt|serve|demo|providers> [flags]")
 	}
 	switch args[0] {
 	case "train":
@@ -64,6 +73,8 @@ func run(ctx context.Context, args []string) error {
 		return cmdRecommend(ctx, args[1:])
 	case "adapt":
 		return cmdAdapt(ctx, args[1:])
+	case "serve":
+		return cmdServe(ctx, args[1:])
 	case "demo":
 		return cmdDemo(ctx, args[1:])
 	case "providers":
@@ -357,6 +368,83 @@ func cmdAdapt(ctx context.Context, args []string) error {
 		fmt.Printf("  adapted  MAPE=%.4f R2=%.4f\n", tuned.MAPE, tuned.R2)
 	}
 	return nil
+}
+
+// cmdServe runs the fleet-recommendation daemon: the long-running,
+// provider-side deployment of the recommender with bounded ingest
+// backpressure, durable fleet snapshots, and optional drift-triggered
+// auto-adaptation.
+func cmdServe(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	modelPath := fs.String("model", "model.json", "trained model path")
+	providerName := fs.String("provider", platform.AWSLambdaName, "pricing/platform provider (see 'sizeless providers')")
+	addr := fs.String("addr", "127.0.0.1:8080", "HTTP listen address (use :0 for an ephemeral port)")
+	tradeoff := fs.Float64("t", 0.75, "cost/performance tradeoff in [0,1]")
+	minWindow := fs.Int("minwindow", 0, "invocations required before a function gets a recommendation (0 = service default)")
+	shards := fs.Int("shards", 0, "lock shards for the fleet state (0 = service default)")
+	workers := fs.Int("workers", 0, "batch recompute workers (0 = service default)")
+	queueDepth := fs.Int("queue-depth", 256, "max queued+in-flight ingest jobs per shard before 429")
+	queueBytes := fs.Int64("queue-bytes", 4<<20, "max queued+in-flight window bytes per shard before 429")
+	snapshot := fs.String("snapshot", "", "fleet snapshot path: restored on startup, written periodically and on shutdown (empty = no durability)")
+	snapInterval := fs.Duration("snapshot-interval", time.Minute, "periodic snapshot cadence")
+	adaptDS := fs.String("adapt-dataset", "", "adaptation dataset CSV for the drift-triggered auto-adapt loop (empty = disabled; reloaded fresh at each firing)")
+	adaptInterval := fs.Duration("adapt-interval", 30*time.Second, "drift-quorum observation interval")
+	adaptQuorum := fs.Float64("adapt-quorum", 0.25, "fraction of recommendation-bearing functions that must drift within one interval to trigger adaptation")
+	patience := fs.Int("patience", 10, "early-stopping patience for auto-adaptation fine-tunes")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	provider, err := sizeless.ProviderByName(*providerName)
+	if err != nil {
+		return err
+	}
+	mf, err := os.Open(*modelPath)
+	if err != nil {
+		return err
+	}
+	pred, err := sizeless.LoadPredictor(mf, sizeless.WithProvider(provider))
+	mf.Close()
+	if err != nil {
+		return err
+	}
+
+	svcOpts := []sizeless.Option{sizeless.WithTradeoff(*tradeoff)}
+	if *minWindow > 0 {
+		svcOpts = append(svcOpts, sizeless.WithMinWindow(*minWindow))
+	}
+	if *shards > 0 {
+		svcOpts = append(svcOpts, sizeless.WithShards(*shards))
+	}
+	if *workers > 0 {
+		svcOpts = append(svcOpts, sizeless.WithWorkers(*workers))
+	}
+	cfg := serve.Config{
+		Predictor:        pred,
+		ServiceOptions:   svcOpts,
+		Addr:             *addr,
+		QueueDepth:       *queueDepth,
+		QueueBytes:       *queueBytes,
+		SnapshotPath:     *snapshot,
+		SnapshotInterval: *snapInterval,
+		Logf: func(format string, a ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", a...)
+		},
+	}
+	if *adaptDS != "" {
+		cfg.Adapt = serve.AdaptConfig{
+			// Reload the CSV at each firing so an operator can refresh the
+			// adaptation measurements while the daemon runs.
+			Source:   func(context.Context) (*sizeless.Dataset, error) { return loadDataset(*adaptDS) },
+			Interval: *adaptInterval,
+			Quorum:   *adaptQuorum,
+			Patience: *patience,
+		}
+	}
+	srv, err := serve.New(cfg)
+	if err != nil {
+		return err
+	}
+	return srv.Run(ctx)
 }
 
 func cmdDemo(ctx context.Context, args []string) error {

@@ -105,6 +105,15 @@
 // seed's sequential pipeline; the "ingest-scale" experiment in
 // cmd/benchreport regenerates the scaling table.
 //
+// The deployment posture for all of this is the fleet daemon: "sizeless
+// serve" (internal/serve) exposes ingest/recommend/fleet/status over
+// HTTP with per-shard bounded admission queues (429 + Retry-After on
+// saturation, never unbounded buffering), CRC-guarded fleet snapshots
+// that restore byte-identically across restarts, and an optional
+// drift-quorum adaptation loop that re-fits and hot-swaps the model via
+// Predictor.SwapServiceModel when a fleet-wide workload shift is
+// detected.
+//
 // # The training engine
 //
 // Every model this package produces — TrainPredictor, Predictor.Adapt,

@@ -1,0 +1,61 @@
+package sizeless_test
+
+import (
+	"bytes"
+	"testing"
+
+	"sizeless"
+)
+
+// TestSaveLoadSaveByteIdempotent pins the invariant the serve daemon's
+// snapshot restore depends on: re-serializing a loaded model reproduces the
+// original bytes exactly, so the fingerprint recorded in a snapshot header
+// matches the fingerprint of the model restored from that snapshot.
+// encoding/json round-trips float64 via the shortest representation, which
+// makes this hold — if serialization ever gains a lossy step, this test is
+// the early alarm, not a corrupt-snapshot error at restore time.
+func TestSaveLoadSaveByteIdempotent(t *testing.T) {
+	pred := quickPredictor(t)
+
+	var first bytes.Buffer
+	if err := pred.Save(&first); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := sizeless.LoadPredictor(bytes.NewReader(first.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var second bytes.Buffer
+	if err := loaded.Save(&second); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first.Bytes(), second.Bytes()) {
+		t.Fatalf("Save∘Load is not byte-idempotent: %d bytes vs %d bytes",
+			first.Len(), second.Len())
+	}
+
+	fp1, err := pred.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp2, err := loaded.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp1 != fp2 {
+		t.Errorf("fingerprint changed across a load round-trip: %s vs %s", fp1, fp2)
+	}
+	if len(fp1) != 16 {
+		t.Errorf("fingerprint %q is not 16 hex digits", fp1)
+	}
+
+	// Fingerprinting must not consume or mutate the model: a third save
+	// still matches.
+	var third bytes.Buffer
+	if err := pred.Save(&third); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first.Bytes(), third.Bytes()) {
+		t.Error("Fingerprint mutated the model's serialized form")
+	}
+}

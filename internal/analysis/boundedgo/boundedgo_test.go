@@ -10,6 +10,8 @@ import (
 func TestAnalyzer(t *testing.T) {
 	// a/internal/lib: violations plus a suppressed exception.
 	// a/cmd/tool and a/internal/pool: exempt scopes, asserted silent.
+	// a/internal/serve: daemon-shaped packages are in scope — background
+	// loops and per-shard drainers get no goroutine dispensation.
 	analysistest.Run(t, analysistest.TestData(t), boundedgo.Analyzer,
-		"a/internal/lib", "a/cmd/tool", "a/internal/pool")
+		"a/internal/lib", "a/cmd/tool", "a/internal/pool", "a/internal/serve")
 }

@@ -1,0 +1,24 @@
+// Package serve mirrors the repository's fleet-daemon package: a library
+// package full of daemon-shaped temptations — background loops, drainers,
+// shutdown watchers. None of that exempts it from the fan-out invariant;
+// every long-lived goroutine must still ride internal/pool.Run.
+package serve
+
+import "context"
+
+// SpawnSnapshotLoop is the tempting-but-forbidden daemon shape: a
+// fire-and-forget background ticker goroutine.
+func SpawnSnapshotLoop(ctx context.Context, tick func()) {
+	go func() { // want `naked go statement in library package`
+		for ctx.Err() == nil {
+			tick()
+		}
+	}()
+}
+
+// SpawnDrainers shows per-shard drainer fan-out is flagged the same way.
+func SpawnDrainers(ctx context.Context, drain func(shard int)) {
+	for i := 0; i < 4; i++ {
+		go drain(i) // want `naked go statement in library package`
+	}
+}

@@ -8,5 +8,9 @@ import (
 )
 
 func TestAnalyzer(t *testing.T) {
-	analysistest.Run(t, analysistest.TestData(t), ctxflow.Analyzer, "b/internal/lib")
+	// b/internal/lib: the core violation/exception matrix.
+	// b/internal/serve: daemon shutdown contexts — manufactured roots are
+	// flagged, the WithoutCancel(ctx) grace idiom is silent.
+	analysistest.Run(t, analysistest.TestData(t), ctxflow.Analyzer,
+		"b/internal/lib", "b/internal/serve")
 }

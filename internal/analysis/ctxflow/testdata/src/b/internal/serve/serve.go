@@ -1,0 +1,28 @@
+// Package serve mirrors the repository's fleet-daemon package: library
+// code whose shutdown paths need detached-but-bounded contexts. The legal
+// shape is context.WithoutCancel(ctx) — still derived from the caller's
+// ctx — never a manufactured root.
+package serve
+
+import (
+	"context"
+	"time"
+)
+
+// ShutdownDetached manufactures a root context for the grace period — the
+// daemon bug ctxflow exists to catch.
+func ShutdownDetached(stop func(context.Context) error) error {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second) // want `library code must not manufacture context\.Background`
+	defer cancel()
+	return stop(ctx)
+}
+
+// ShutdownGrace is the sanctioned daemon idiom: the grace context survives
+// the parent's cancellation (that cancellation is exactly what started the
+// shutdown) but is still derived from ctx, so values flow and the analyzer
+// stays silent.
+func ShutdownGrace(ctx context.Context, stop func(context.Context) error) error {
+	gctx, cancel := context.WithTimeout(context.WithoutCancel(ctx), time.Second)
+	defer cancel()
+	return stop(gctx)
+}

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"hash/fnv"
 	"io"
 
 	"sizeless/internal/features"
@@ -53,6 +54,20 @@ func saveModel(m *Model, w io.Writer) error {
 		return fmt.Errorf("core: save: %w", err)
 	}
 	return nil
+}
+
+// Fingerprint returns a stable 64-bit FNV-1a hash of the model's
+// serialized form, hex-encoded. Saving is deterministic (ordered JSON
+// fields, shortest-round-trip floats), so two models fingerprint equal
+// exactly when their persisted state — weights, scaler, grid, provenance —
+// is identical. The serve daemon stamps it into snapshot headers so an
+// operator can tell which model generation a fleet snapshot belongs to.
+func (m *Model) Fingerprint() (string, error) {
+	h := fnv.New64a()
+	if err := saveModel(m, h); err != nil {
+		return "", fmt.Errorf("core: fingerprint: %w", err)
+	}
+	return fmt.Sprintf("%016x", h.Sum64()), nil
 }
 
 // LoadModel reconstructs a model persisted with Model.Save. Only the parts

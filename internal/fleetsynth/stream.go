@@ -23,7 +23,12 @@ type StreamConfig struct {
 	// KeepAlive is the warm-instance idle reclamation threshold — the
 	// platform's keep-alive window. Instances idle longer are reaped, so
 	// the next arrival pays a cold start. Zero or negative means instances
-	// are never reclaimed (only the first arrival is cold).
+	// are never reclaimed: idle-gap cold starts disappear, but
+	// concurrency-growth cold starts remain — whenever every pooled
+	// instance is busy, the overflowing arrival still starts a fresh cold
+	// instance, so bursty traffic pays cold starts even with an unreaped
+	// pool. Only a serial schedule (no overlapping invocations) reduces to
+	// "only the first arrival is cold".
 	KeepAlive time.Duration
 	// Scale multiplies the synthetic metric magnitudes (see Window); values
 	// <= 0 default to 1.

@@ -146,6 +146,42 @@ func TestStreamNoKeepAliveSingleCold(t *testing.T) {
 	}
 }
 
+// TestStreamNoKeepAliveBurstStillCold pins the documented boundary of the
+// "never reclaimed" mode: disabling reclamation only removes idle-gap cold
+// starts. Overlapping arrivals still grow the pool — every arrival in a
+// simultaneous burst finds no idle instance and starts cold — so KeepAlive
+// <= 0 does NOT mean "only the first arrival is cold" except on a serial
+// schedule (the case TestStreamNoKeepAliveSingleCold covers).
+func TestStreamNoKeepAliveBurstStillCold(t *testing.T) {
+	sched := loadgen.Burst(16, nil)
+	windows, err := Stream(xrand.New(1).Derive("nokeepalive-burst"), sched,
+		StreamConfig{Horizon: time.Minute, Window: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	invs, colds := streamTotals(t, windows)
+	if invs != 16 || colds != 16 {
+		t.Fatalf("unreaped pool, simultaneous burst: %d/%d cold, want 16/16", colds, invs)
+	}
+
+	// A second identical burst reuses the grown pool: with reclamation off,
+	// the sixteen instances are all still warm, so zero new cold starts.
+	second := make(loadgen.Schedule, 16)
+	for i := range second {
+		second[i] = 30 * time.Second
+	}
+	windows, err = Stream(xrand.New(1).Derive("nokeepalive-two-bursts"),
+		append(loadgen.Burst(16, nil), second...),
+		StreamConfig{Horizon: time.Minute, Window: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	invs, colds = streamTotals(t, windows)
+	if invs != 32 || colds != 16 {
+		t.Fatalf("second burst on warm pool: %d/%d cold, want 16/32", colds, invs)
+	}
+}
+
 func TestStreamScaleAtShiftsMetrics(t *testing.T) {
 	sched, err := loadgen.Constant(10, time.Minute)
 	if err != nil {

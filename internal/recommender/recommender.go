@@ -32,6 +32,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"sizeless/internal/core"
 	"sizeless/internal/monitoring"
@@ -82,6 +83,29 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// validate rejects configurations that could only fail later, at the first
+// recomputation. An out-of-range tradeoff is the dangerous one: it passes
+// construction and every sub-MinWindow ingest, then fails inside
+// optimizer.Optimize once a window is large enough — and because the failed
+// ingest rolls back, every subsequent ingest replays the same doomed
+// recompute, permanently poisoning the function. Failing at New turns that
+// runtime poison into a construction-time error.
+func (c Config) validate() error {
+	if c.Tradeoff < 0 || c.Tradeoff > 1 {
+		return fmt.Errorf("recommender: tradeoff %v outside [0,1]", c.Tradeoff)
+	}
+	if c.Workers < 0 {
+		return fmt.Errorf("recommender: negative worker count %d", c.Workers)
+	}
+	if c.Shards < 0 {
+		return fmt.Errorf("recommender: negative shard count %d", c.Shards)
+	}
+	if c.MinWindow < 0 {
+		return fmt.Errorf("recommender: negative min window %d", c.MinWindow)
+	}
+	return nil
+}
+
 // Status describes one tracked function's recommendation state.
 type Status struct {
 	// FunctionID identifies the function.
@@ -126,8 +150,11 @@ type shard struct {
 // Service is the continuous recommender. Safe for concurrent use; see the
 // package comment for the sharding and atomicity guarantees.
 type Service struct {
-	cfg    Config
-	model  *core.Model
+	cfg Config
+	// model is swappable at runtime (see SwapModel): recomputations load
+	// it once per recompute, so an adapted model takes effect at the next
+	// drift-triggered refresh without stalling ingestion.
+	model  atomic.Pointer[core.Model]
 	shards []shard
 
 	// orderMu guards the first-seen ordering used by Fleet. Lock order:
@@ -137,17 +164,22 @@ type Service struct {
 }
 
 // New creates a Service over a trained model. Ingested windows must be
-// collected at the model's base memory size.
+// collected at the model's base memory size. The configuration is validated
+// up front — an out-of-range tradeoff or a negative shard/worker count is
+// rejected here rather than surfacing at the first recomputation.
 func New(model *core.Model, cfg Config) (*Service, error) {
 	if model == nil {
 		return nil, errors.New("recommender: nil model")
 	}
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
 	cfg = cfg.withDefaults()
 	s := &Service{
 		cfg:    cfg,
-		model:  model,
 		shards: make([]shard, cfg.Shards),
 	}
+	s.model.Store(model)
 	for i := range s.shards {
 		s.shards[i].fns = make(map[string]*functionState)
 	}
@@ -155,11 +187,54 @@ func New(model *core.Model, cfg Config) (*Service, error) {
 }
 
 // Base returns the memory size ingested windows must be monitored at.
-func (s *Service) Base() platform.MemorySize { return s.model.Config().Base }
+func (s *Service) Base() platform.MemorySize { return s.model.Load().Config().Base }
+
+// SwapModel atomically replaces the prediction model behind future
+// recomputations and RecommendBatch calls — the hook the serve daemon's
+// auto-adapt loop uses to put an adapted model into service without
+// restarting or losing per-function state. Tracked baselines and pending
+// windows are untouched; each function picks the new model up at its next
+// drift-triggered (or initial) recomputation.
+//
+// The replacement must be trained at the same base size and predict the
+// same memory grid, so ingested windows and existing recommendations stay
+// comparable across the swap.
+func (s *Service) SwapModel(m *core.Model) error {
+	if m == nil {
+		return errors.New("recommender: swap: nil model")
+	}
+	old := s.model.Load()
+	if got, want := m.Config().Base, old.Config().Base; got != want {
+		return fmt.Errorf("recommender: swap: model base %v != service base %v", got, want)
+	}
+	if got, want := m.Targets(), old.Targets(); !equalSizes(got, want) {
+		return fmt.Errorf("recommender: swap: model grid %v != service grid %v", got, want)
+	}
+	s.model.Store(m)
+	return nil
+}
+
+func equalSizes(a, b []platform.MemorySize) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
 
 // NumShards returns the number of state shards the fleet is partitioned
 // across.
 func (s *Service) NumShards() int { return len(s.shards) }
+
+// ShardFor returns the shard index a function's state lives on — the hook
+// the serve daemon uses to align its bounded ingest queues with the
+// service's lock partitioning, so queue backpressure and lock contention
+// shed load along the same boundary.
+func (s *Service) ShardFor(functionID string) int { return s.shardIndex(functionID) }
 
 // shardIndex maps a function ID onto its shard with a 32-bit FNV-1a hash —
 // deterministic across processes, so an operator can reason about which
@@ -212,6 +287,12 @@ func (s *Service) Ingest(ctx context.Context, functionID string, invs []monitori
 	defer sh.mu.Unlock()
 
 	st, ok := sh.fns[functionID]
+	if !ok && len(invs) == 0 {
+		// An empty ingest for an unknown function must not create state:
+		// registering here would leak an Observed: 0 phantom record into
+		// Fleet, Summarize, and the first-seen order.
+		return Status{FunctionID: functionID}, nil
+	}
 	created := false
 	if !ok {
 		st = &functionState{status: Status{FunctionID: functionID}}
@@ -310,7 +391,7 @@ func (s *Service) recomputeLocked(ctx context.Context, st *functionState, shifte
 	if err != nil {
 		return fmt.Errorf("recommender: %s: %w", st.status.FunctionID, err)
 	}
-	times, err := s.model.Predict(summary)
+	times, err := s.model.Load().Predict(summary)
 	if err != nil {
 		return fmt.Errorf("recommender: %s: %w", st.status.FunctionID, err)
 	}
@@ -379,7 +460,7 @@ type FleetSummary struct {
 // time so a fleet-wide summary never stalls concurrent ingestion for long.
 func (s *Service) Summarize() FleetSummary {
 	var out FleetSummary
-	base := s.model.Config().Base
+	base := s.model.Load().Config().Base
 	for i := range s.shards {
 		sh := &s.shards[i]
 		sh.mu.Lock()
@@ -445,7 +526,10 @@ func (s *Service) IngestBatch(ctx context.Context, batch map[string][]monitoring
 	})
 	if err != nil {
 		if ctxErr := ctx.Err(); ctxErr != nil && errors.Is(err, ctxErr) {
-			err = fmt.Errorf("recommender: batch ingest cancelled: %w", ctxErr)
+			// Wrap the job's own error, not the bare ctx.Err(): a cut-off
+			// recompute's error names the function it interrupted, and that
+			// context must survive into the %w chain.
+			err = fmt.Errorf("recommender: batch ingest cancelled: %w", err)
 		}
 		return out, err
 	}
@@ -459,7 +543,7 @@ func (s *Service) IngestBatch(ctx context.Context, batch map[string][]monitoring
 // with summaries. Unlike Ingest it does not touch per-function tracking
 // state.
 func (s *Service) RecommendBatch(ctx context.Context, summaries []monitoring.Summary) ([]optimizer.Recommendation, error) {
-	times, err := s.model.PredictBatch(ctx, summaries, s.cfg.Workers)
+	times, err := s.model.Load().PredictBatch(ctx, summaries, s.cfg.Workers)
 	if err != nil {
 		return nil, fmt.Errorf("recommender: %w", err)
 	}

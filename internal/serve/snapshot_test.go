@@ -1,0 +1,240 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"os"
+	"strings"
+	"testing"
+
+	"sizeless"
+	"sizeless/internal/fleetsynth"
+)
+
+// newSnapshotServer builds an un-Run daemon with a populated fleet: eight
+// functions with recommendations plus buffered sub-MinWindow pending
+// windows, so a snapshot exercises statuses, baselines, and pending state.
+func newSnapshotServer(t *testing.T, path string) *Server {
+	t.Helper()
+	srv, err := New(Config{
+		Predictor:      testPredictor(t),
+		ServiceOptions: []sizeless.Option{sizeless.WithMinWindow(50)},
+		SnapshotPath:   path,
+		Logf:           t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if _, err := srv.Service().IngestBatch(ctx, fleetsynth.Batch(8, 120, 11, 1)); err != nil {
+		t.Fatal(err)
+	}
+	// A second, smaller batch stays pending below MinWindow.
+	if _, err := srv.Service().IngestBatch(ctx, fleetsynth.Batch(8, 20, 12, 1)); err != nil {
+		t.Fatal(err)
+	}
+	return srv
+}
+
+func fleetJSON(t *testing.T, srv *Server) []byte {
+	t.Helper()
+	b, err := json.Marshal(srv.Service().Fleet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestSnapshotRestoreByteIdentical is the tentpole acceptance criterion:
+// snapshot → restart → restore reproduces Fleet() byte-for-byte, and the
+// restored service resumes drift detection exactly where the original
+// would have.
+func TestSnapshotRestoreByteIdentical(t *testing.T) {
+	path := t.TempDir() + "/fleet.snap"
+	orig := newSnapshotServer(t, path)
+	if err := orig.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+
+	restored, err := New(Config{
+		Predictor:      testPredictor(t),
+		ServiceOptions: []sizeless.Option{sizeless.WithMinWindow(50)},
+		SnapshotPath:   path,
+		Logf:           t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !restored.restored.Load() {
+		t.Fatal("daemon did not restore from the snapshot")
+	}
+	if a, b := fleetJSON(t, orig), fleetJSON(t, restored); !bytes.Equal(a, b) {
+		t.Fatalf("restored fleet differs:\n original: %s\n restored: %s", a, b)
+	}
+	origFP, err := orig.Predictor().Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restFP, err := restored.Predictor().Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if origFP != restFP {
+		t.Errorf("model fingerprint changed across restore: %s vs %s", origFP, restFP)
+	}
+
+	// Both services now receive the same shifted traffic. The restored one
+	// must drift-detect against its restored baselines and land in exactly
+	// the state the original reaches: byte-identical again, with the shift
+	// actually forcing recomputations.
+	ctx := context.Background()
+	shifted := fleetsynth.Batch(8, 120, 13, 4)
+	if _, err := orig.Service().IngestBatch(ctx, shifted); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := restored.Service().IngestBatch(ctx, shifted); err != nil {
+		t.Fatal(err)
+	}
+	if a, b := fleetJSON(t, orig), fleetJSON(t, restored); !bytes.Equal(a, b) {
+		t.Fatalf("fleets diverged after post-restore ingest:\n original: %s\n restored: %s", a, b)
+	}
+	if got := orig.Service().Summarize().Recomputations; got == 0 {
+		t.Error("shifted traffic triggered no recomputations — drift resume not exercised")
+	}
+}
+
+// TestSnapshotSecondImportRejected: restoring is only legal into an empty
+// service; the underlying Import guards against silently merging fleets.
+func TestSnapshotSecondImportRejected(t *testing.T) {
+	srv := newSnapshotServer(t, t.TempDir()+"/fleet.snap")
+	if err := srv.Service().Import(srv.Service().Export()); err == nil {
+		t.Fatal("import into a tracking service should error")
+	}
+}
+
+// TestReadSnapshotRejectsCorruption drives the parser through every
+// corruption class: each must be rejected with an error naming the
+// offending line or the CRC, never a silently partial fleet.
+func TestReadSnapshotRejectsCorruption(t *testing.T) {
+	srv := newSnapshotServer(t, t.TempDir()+"/fleet.snap")
+	var buf bytes.Buffer
+	if err := srv.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	valid := buf.Bytes()
+	if snap, err := ReadSnapshot(bytes.NewReader(valid)); err != nil {
+		t.Fatalf("valid snapshot rejected: %v", err)
+	} else if len(snap.Functions) != 8 {
+		t.Fatalf("valid snapshot decoded %d functions, want 8", len(snap.Functions))
+	}
+
+	lines := bytes.SplitAfter(valid, []byte("\n"))
+	if len(lines[len(lines)-1]) == 0 { // SplitAfter leaves a trailing empty element
+		lines = lines[:len(lines)-1]
+	}
+	rejoin := func(ls [][]byte) []byte { return bytes.Join(ls, nil) }
+
+	corrupt := func(name string, data []byte, want string) {
+		t.Helper()
+		_, err := ReadSnapshot(bytes.NewReader(data))
+		if err == nil {
+			t.Errorf("%s: accepted", name)
+			return
+		}
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("%s: error %q does not mention %q", name, err, want)
+		}
+	}
+
+	corrupt("empty input", nil, "line 1")
+	corrupt("bad magic",
+		bytes.Replace(valid, []byte(snapshotMagic), []byte("not-a-snapshot"), 1), "magic")
+	corrupt("future version",
+		bytes.Replace(valid, []byte(`"version":1`), []byte(`"version":9`), 1), "unsupported version")
+	corrupt("truncated mid-function", valid[:len(valid)/2], "truncated snapshot")
+	corrupt("unterminated last line", valid[:len(valid)-2], "unterminated line")
+	corrupt("trailing garbage", append(append([]byte(nil), valid...), []byte("extra\n")...), "trailing garbage")
+
+	// Flip one digit inside the model line: still valid JSON, so only the
+	// trailer CRC can catch it.
+	flipped := append([]byte(nil), valid...)
+	modelStart := len(lines[0])
+	flip := -1
+	for i := modelStart; i < modelStart+len(lines[1]); i++ {
+		if flipped[i] >= '1' && flipped[i] <= '8' {
+			flip = i
+			break
+		}
+	}
+	if flip < 0 {
+		t.Fatal("no digit to flip in the model line")
+	}
+	flipped[flip]++
+	corrupt("payload bit-flip", flipped, "CRC")
+
+	// Trailer count disagreeing with the header reads as truncation.
+	var tail snapshotTrailer
+	if err := json.Unmarshal(lines[len(lines)-1], &tail); err != nil {
+		t.Fatal(err)
+	}
+	tail.Functions++
+	badTail, err := json.Marshal(tail)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mismatch := append([][]byte(nil), lines[:len(lines)-1]...)
+	mismatch = append(mismatch, append(badTail, '\n'))
+	corrupt("trailer count mismatch", rejoin(mismatch), "trailer count")
+
+	// A function record with fields the schema does not know is rejected
+	// with its line number (DisallowUnknownFields).
+	unknown := append([][]byte(nil), lines...)
+	rec := bytes.TrimSuffix(unknown[2], []byte("\n"))
+	rec = append(bytes.TrimSuffix(rec, []byte("}")), []byte(`,"surprise":1}`)...)
+	unknown[2] = append(rec, '\n')
+	corrupt("unknown field in function record", rejoin(unknown), "line 3")
+}
+
+// TestRestoreMissingFileIsFreshStart: a daemon pointed at a snapshot path
+// that does not exist yet simply starts empty.
+func TestRestoreMissingFileIsFreshStart(t *testing.T) {
+	srv, err := New(Config{
+		Predictor:    testPredictor(t),
+		SnapshotPath: t.TempDir() + "/does-not-exist.snap",
+		Logf:         t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if srv.restored.Load() {
+		t.Error("missing snapshot marked as restored")
+	}
+	if got := srv.Service().Summarize().Functions; got != 0 {
+		t.Errorf("fresh daemon tracks %d functions", got)
+	}
+}
+
+// TestRestoreRejectsCorruptFileAtStartup: New must refuse to come up on a
+// corrupt snapshot rather than serving a partial fleet.
+func TestRestoreRejectsCorruptFileAtStartup(t *testing.T) {
+	path := t.TempDir() + "/fleet.snap"
+	srv := newSnapshotServer(t, path)
+	if err := srv.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = New(Config{Predictor: testPredictor(t), SnapshotPath: path, Logf: t.Logf})
+	if err == nil {
+		t.Fatal("New accepted a truncated snapshot")
+	}
+	if !strings.Contains(err.Error(), "truncated") && !strings.Contains(err.Error(), "line") {
+		t.Errorf("startup error %q carries no line context", err)
+	}
+}

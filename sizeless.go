@@ -423,3 +423,34 @@ func (p *Predictor) NewService(opts ...Option) (*Service, error) {
 	}
 	return svc, nil
 }
+
+// SwapServiceModel atomically puts this predictor's model behind an already
+// running Service — the last step of the §5 loop when it runs unattended:
+// drift fires fleet-wide, Adapt produces a fine-tuned predictor, and the
+// adapted model goes live without restarting the service or losing any
+// per-function baseline. Tracked functions pick the new model up at their
+// next recomputation.
+//
+// The swap is rejected unless the adapted model keeps the service's base
+// size and memory grid (which Adapt preserves by construction).
+func (p *Predictor) SwapServiceModel(svc *Service) error {
+	if svc == nil {
+		return fmt.Errorf("sizeless: swap: nil service")
+	}
+	if err := svc.SwapModel(p.model); err != nil {
+		return fmt.Errorf("sizeless: %w", err)
+	}
+	return nil
+}
+
+// Fingerprint returns a stable hex hash of the predictor's serialized model
+// state. Two predictors fingerprint equal exactly when Save would write
+// identical bytes — the identity the serve daemon stamps into fleet
+// snapshots.
+func (p *Predictor) Fingerprint() (string, error) {
+	fp, err := p.model.Fingerprint()
+	if err != nil {
+		return "", fmt.Errorf("sizeless: %w", err)
+	}
+	return fp, nil
+}
