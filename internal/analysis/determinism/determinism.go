@@ -8,19 +8,23 @@ package determinism
 
 import (
 	"go/ast"
+	"go/build/constraint"
 	"go/token"
 	"go/types"
 
 	"sizeless/internal/analysis"
 )
 
-// Analyzer flags seedless randomness, clock-derived seeds, and map-order
-// dependent numeric results.
+// Analyzer flags seedless randomness, clock-derived seeds, map-order
+// dependent numeric results, and scheduling-order dependent float
+// accumulation in parallel kernel code.
 var Analyzer = &analysis.Analyzer{
 	Name: "determinism",
-	Doc: "forbid global math/rand draws, time.Now-derived seeds, and map-iteration " +
-		"order feeding float accumulators or slice appends in the numeric packages; " +
-		"seed-reproducibility is what keeps the parity oracles bit-exact",
+	Doc: "forbid global math/rand draws, time.Now-derived seeds, map-iteration " +
+		"order feeding float accumulators or slice appends in the numeric packages, " +
+		"and float accumulation into shared variables inside pool worker closures in " +
+		"internal/nn (outside fma-tagged files); seed-reproducibility is what keeps " +
+		"the parity oracles bit-exact",
 	Run: run,
 }
 
@@ -63,11 +67,21 @@ func run(pass *analysis.Pass) (any, error) {
 	}
 	info := pass.TypesInfo
 	mapOrder := numericScoped(pass.Path())
+	kernelScope := analysis.PathHasSegment(pass.Path(), "internal/nn")
 	for _, f := range pass.Files {
+		// Files gated behind the fma build tag live under the fast tier's
+		// tolerance oracle: their worker closures accumulate into
+		// per-worker slabs with a deterministic tree reduction, which this
+		// syntactic check cannot distinguish from a genuine shared-float
+		// race. The bit-exact default tier gets the strict rule.
+		parallelAccum := kernelScope && !fileRequiresTag(f, "fma")
 		ast.Inspect(f, func(n ast.Node) bool {
 			switch n := n.(type) {
 			case *ast.CallExpr:
 				checkCall(pass, n)
+				if parallelAccum {
+					checkParallelAccum(pass, n)
+				}
 			case *ast.RangeStmt:
 				if mapOrder {
 					if t := info.TypeOf(n.X); t != nil {
@@ -81,6 +95,104 @@ func run(pass *analysis.Pass) (any, error) {
 		})
 	}
 	return nil, nil
+}
+
+// fileRequiresTag reports whether f's //go:build constraint makes the
+// build tag a necessary condition: the tag appears in the expression and
+// the file cannot build with it disabled (every other tag granted, the
+// liberal assignment — sufficient for the repo's `fma && (...)` gates).
+func fileRequiresTag(f *ast.File, tag string) bool {
+	for _, cg := range f.Comments {
+		if cg.Pos() >= f.Package {
+			break
+		}
+		for _, c := range cg.List {
+			if !constraint.IsGoBuild(c.Text) {
+				continue
+			}
+			expr, err := constraint.Parse(c.Text)
+			if err != nil {
+				continue
+			}
+			if exprMentionsTag(expr, tag) && !expr.Eval(func(t string) bool { return t != tag }) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// exprMentionsTag walks a build-constraint expression for the tag.
+func exprMentionsTag(expr constraint.Expr, tag string) bool {
+	switch e := expr.(type) {
+	case *constraint.TagExpr:
+		return e.Tag == tag
+	case *constraint.NotExpr:
+		return exprMentionsTag(e.X, tag)
+	case *constraint.AndExpr:
+		return exprMentionsTag(e.X, tag) || exprMentionsTag(e.Y, tag)
+	case *constraint.OrExpr:
+		return exprMentionsTag(e.X, tag) || exprMentionsTag(e.Y, tag)
+	}
+	return false
+}
+
+// checkParallelAccum flags float compound assignment into variables
+// declared outside a worker closure passed to pool.Run or pool.Stripes:
+// workers race on the accumulator, and even under a lock the accumulation
+// order would follow goroutine scheduling — float addition is not
+// associative, so the result changes run to run. Matched by package name
+// (`pool`) so fixtures with stand-in packages exercise the rule.
+func checkParallelAccum(pass *analysis.Pass, call *ast.CallExpr) {
+	fn := analysis.CalleeFunc(pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Name() != "pool" {
+		return
+	}
+	if fn.Name() != "Run" && fn.Name() != "Stripes" {
+		return
+	}
+	info := pass.TypesInfo
+	for _, arg := range call.Args {
+		fl, ok := arg.(*ast.FuncLit)
+		if !ok {
+			continue
+		}
+		ast.Inspect(fl.Body, func(n ast.Node) bool {
+			asg, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			switch asg.Tok {
+			case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+			default:
+				return true
+			}
+			lhs := asg.Lhs[0]
+			t := info.TypeOf(lhs)
+			if t == nil {
+				return true
+			}
+			if b, ok := t.Underlying().(*types.Basic); !ok || b.Info()&types.IsFloat == 0 {
+				return true
+			}
+			root := analysis.RootIdent(lhs)
+			if root == nil {
+				return true
+			}
+			obj := info.ObjectOf(root)
+			if obj == nil || obj.Pos() == token.NoPos {
+				return true
+			}
+			if obj.Pos() >= fl.Pos() && obj.Pos() <= fl.End() {
+				// Closure-local accumulator (including the worker-index
+				// parameter pattern): each worker owns its own value.
+				return true
+			}
+			pass.Reportf(asg.Pos(),
+				"float accumulation into %s shared across pool workers follows goroutine scheduling order (float addition is not associative); accumulate into a per-worker slab and reduce in a fixed order, or gate the file behind the fma tag's tolerance oracle", root.Name)
+			return true
+		})
+	}
 }
 
 func checkCall(pass *analysis.Pass, call *ast.CallExpr) {

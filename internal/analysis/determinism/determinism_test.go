@@ -9,9 +9,11 @@ import (
 
 func TestAnalyzer(t *testing.T) {
 	// c/internal/nn: numeric-scoped violations plus a suppressed exception.
+	// c/internal/nn/fastpath: shared-float accumulation in pool worker
+	// closures flagged in untagged files, silent behind the fma tag.
 	// c/internal/util: outside the numeric scope, asserted silent.
 	// c/internal/loadgen: the scenario engine's scope — seedless draws and
 	// map-order schedule assembly flagged.
 	analysistest.Run(t, analysistest.TestData(t), determinism.Analyzer,
-		"c/internal/nn", "c/internal/util", "c/internal/loadgen")
+		"c/internal/nn", "c/internal/nn/fastpath", "c/internal/util", "c/internal/loadgen")
 }

@@ -1,0 +1,35 @@
+//go:build fma
+
+// The fma-gated half of the fixture: identical accumulation shapes stay
+// silent because the file is behind the fast tier's tolerance oracle (the
+// analyzer's fileRequiresTag check). The real build never compiles this
+// file into default-tag analysis runs; the analysistest loader parses it
+// regardless of tags, which is exactly what lets the fixture assert the
+// skip.
+package fastpath
+
+import (
+	"context"
+
+	"c/internal/pool"
+)
+
+// FusedSharedSum mirrors SharedSum; no diagnostic: fma-gated file.
+func FusedSharedSum(xs []float64) float64 {
+	var total float64
+	_ = pool.Run(context.Background(), len(xs), 4, func(i int) error {
+		total += xs[i]
+		return nil
+	})
+	return total
+}
+
+// FusedStripedShared mirrors StripedShared; silent for the same reason.
+func FusedStripedShared(s *scratch, xs []float64) {
+	_ = pool.Stripes(context.Background(), len(xs), 2, func(w, start, end int) error {
+		for i := start; i < end; i++ {
+			s.loss += xs[i]
+		}
+		return nil
+	})
+}

@@ -156,6 +156,9 @@ type Model struct {
 	// the recommender's recompute path calls Predict once per function
 	// under concurrent ingestion.
 	predictPool sync.Pool // stores *predictBuf
+	// batchPool recycles the chunk-sized buffers of the batched predict
+	// path (ForwardBatch scratch plus per-sample output and ratio rows).
+	batchPool sync.Pool // stores *batchBuf
 }
 
 // predictBuf is one reusable set of single-prediction buffers. The whole
@@ -191,6 +194,76 @@ func (m *Model) getPredictBuf() *predictBuf {
 		scratch: m.nets[0].NewScratch(),
 		ratios:  make([]float64, len(m.targets)),
 	}
+}
+
+// batchBuf is one reusable set of chunk-prediction buffers for the batched
+// predict path: batched forward-pass scratch plus per-sample rows for one
+// ensemble member's outputs and the accumulated ensemble-mean ratios.
+type batchBuf struct {
+	fs     *nn.ForwardScratch
+	preds  [][]float64 // chunk × outputs, one member's ForwardBatch results
+	ratios [][]float64 // chunk × outputs, summed then clamped mean
+}
+
+// getBatchBuf borrows chunk-prediction scratch sized for `rows` samples.
+// Like getPredictBuf, every caller pairs it with a deferred batchPool.Put
+// in the same function.
+func (m *Model) getBatchBuf(rows int) *batchBuf {
+	bb, ok := m.batchPool.Get().(*batchBuf)
+	if !ok {
+		bb = &batchBuf{fs: nn.NewForwardScratch()}
+	}
+	outs := len(m.targets)
+	for len(bb.preds) < rows {
+		bb.preds = append(bb.preds, make([]float64, outs))
+		bb.ratios = append(bb.ratios, make([]float64, outs))
+	}
+	//lint:ignore poolescape provider half of the batch-predict pool: every caller pairs this with `defer m.batchPool.Put(bb)` in the same function
+	return bb
+}
+
+// ratiosFromScaledBatch runs the ensemble over a chunk of already-scaled
+// feature rows through ForwardBatch — each member moves the whole chunk
+// through its layers as blocked matrix multiplies — and leaves the clamped
+// mean ratios in bb.ratios[i] for row i. The per-sample accumulation order
+// (members in ensemble order, then mean, then clamp) matches
+// ratiosFromScaledInto exactly, so batched and single predictions agree up
+// to the kernels' floating-point reassociation.
+func (m *Model) ratiosFromScaledBatch(scaled [][]float64, bb *batchBuf) error {
+	nb := len(scaled)
+	preds := bb.preds[:nb]
+	ratios := bb.ratios[:nb]
+	for _, row := range ratios {
+		for i := range row {
+			row[i] = 0
+		}
+	}
+	for _, net := range m.nets {
+		if err := net.ForwardBatch(scaled, preds, bb.fs); err != nil {
+			return fmt.Errorf("core: %w", err)
+		}
+		for s, p := range preds {
+			row := ratios[s]
+			for i, v := range p {
+				row[i] += v
+			}
+		}
+	}
+	n := float64(len(m.nets))
+	const minRatio, maxRatio = 0.02, 50.0
+	for _, row := range ratios {
+		for i := range row {
+			r := row[i] / n
+			if r < minRatio {
+				r = minRatio
+			}
+			if r > maxRatio {
+				r = maxRatio
+			}
+			row[i] = r
+		}
+	}
+	return nil
 }
 
 // Train fits a model on the dataset. Cancelling ctx aborts training at
@@ -403,12 +476,14 @@ func (m *Model) timesFromRatios(baseMs float64, ratios []float64) map[platform.M
 
 // PredictBatch predicts execution times for many summaries in one pass —
 // the fleet-scale hot path of a provider-side recommender. Feature
-// extraction and scaling are amortized into single matrix operations, and
-// the ensemble forward passes run concurrently on up to `workers`
-// goroutines (0 = GOMAXPROCS), using allocation-free scratch buffers and
-// an unrolled dot product. Results are positionally aligned with sums and
-// deterministic, matching Predict up to floating-point reassociation (a
-// few ULPs); cancelling ctx abandons unstarted chunks.
+// extraction and scaling are amortized into single matrix operations, each
+// chunk of summaries moves through every ensemble member as one blocked
+// GEMM (nn.ForwardBatch — the fused kernels in `-tags fma` builds), and
+// chunks run concurrently on up to `workers` goroutines (0 = GOMAXPROCS),
+// clamped to the chunk count so small batches never spawn idle workers.
+// Results are positionally aligned with sums and deterministic, matching
+// Predict up to floating-point reassociation (a few ULPs); cancelling ctx
+// abandons unstarted chunks.
 func (m *Model) PredictBatch(ctx context.Context, sums []monitoring.Summary, workers int) ([]map[platform.MemorySize]float64, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -434,29 +509,34 @@ func (m *Model) PredictBatch(ctx context.Context, sums []monitoring.Summary, wor
 	}
 
 	// Chunked fan-out over the shared bounded pool: each chunk borrows
-	// forward-pass scratch from the predict pool (the ensemble shares one
-	// shape, so one buffer set serves every net), keeping the inner loop
-	// allocation-free apart from the result maps. Jobs write only their own
-	// indices, so results are deterministic for any worker count.
+	// batched forward-pass scratch and rides ForwardBatch, so a chunk
+	// crosses each layer as one blocked matrix multiply instead of
+	// per-sample dot products. Jobs write only their own indices, so
+	// results are deterministic for any worker count.
 	const chunk = 16
 	out := make([]map[platform.MemorySize]float64, len(sums))
 	nChunks := (len(sums) + chunk - 1) / chunk
+	if workers > nChunks {
+		// A single-function recompute must not spawn a fleet of idle pool
+		// goroutines; there is never more work than chunks.
+		workers = nChunks
+	}
 	err := pool.Run(ctx, nChunks, workers, func(c int) error {
-		pb := m.getPredictBuf()
-		defer m.predictPool.Put(pb)
+		bb := m.getBatchBuf(chunk)
+		defer m.batchPool.Put(bb)
 		start := c * chunk
 		end := start + chunk
 		if end > len(sums) {
 			end = len(sums)
 		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if err := m.ratiosFromScaledBatch(scaled[start:end], bb); err != nil {
+			return err
+		}
 		for i := start; i < end; i++ {
-			if err := ctx.Err(); err != nil {
-				return err
-			}
-			if err := m.ratiosFromScaledInto(scaled[i], pb.scratch, pb.ratios); err != nil {
-				return err
-			}
-			out[i] = m.timesFromRatios(baseMs[i], pb.ratios)
+			out[i] = m.timesFromRatios(baseMs[i], bb.ratios[i-start])
 		}
 		return nil
 	})

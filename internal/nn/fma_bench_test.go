@@ -1,0 +1,107 @@
+//go:build fma
+
+package nn
+
+// Fast-tier half of the train-kernel-fma gate pair in BENCH_train.json:
+// BenchmarkTrainEpochFMA (fast tier) against BenchmarkTrainEpoch (scalar
+// tier, pinned via setFastEnabled even in fma builds) — same workload,
+// same binary, same run, so the gate scores a pure in-run kernel ratio
+// rather than a cross-machine wall-clock claim. Regenerate with:
+//
+//	GOAMD64=v3 go test -tags fma -run '^$' -bench 'BenchmarkTrainEpoch$|BenchmarkTrainEpochFMA' -benchtime=10x -benchmem ./internal/nn
+//
+// TestFastSpeedupFloor asserts the acceptance floor (≥1.5× fast over
+// scalar) inside the test binary itself, so CI enforces it wherever the
+// fused kernels are real.
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// BenchmarkTrainEpochFMA measures one fast-tier training epoch at the
+// paper-final shape: FMA micro-kernels plus batch-striped workers under
+// the default min(GOMAXPROCS, NumCPU) policy. Skipped when the build's
+// target lacks guaranteed FMA instructions (see kernels_fused_off.go) —
+// the ratio would measure the scalar kernels against themselves.
+func BenchmarkTrainEpochFMA(b *testing.B) {
+	if !fusedKernels {
+		b.Skip("fused kernels unavailable on this target (need GOAMD64=v3 or arm64)")
+	}
+	x, y := benchTrainData()
+	ts := NewTrainScratch()
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		net, err := New(benchConfig(int64(i)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		net.ensureOptState()
+		b.StartTimer()
+		if _, err := net.TrainWith(ctx, x, y, 1, ts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// timeEpochs measures the summed wall time of `epochs` single-epoch
+// TrainWith calls on fresh per-iteration networks, construction off the
+// clock — the same accounting as the benchmark pair.
+func timeEpochs(tb testing.TB, epochs int) time.Duration {
+	x, y := benchTrainData()
+	ts := NewTrainScratch()
+	ctx := context.Background()
+	var total time.Duration
+	for i := 0; i < epochs; i++ {
+		net, err := New(benchConfig(int64(i)))
+		if err != nil {
+			tb.Fatal(err)
+		}
+		net.ensureOptState()
+		start := time.Now()
+		if _, err := net.TrainWith(ctx, x, y, 1, ts); err != nil {
+			tb.Fatal(err)
+		}
+		total += time.Since(start)
+	}
+	return total
+}
+
+// TestFastSpeedupFloor sanity-checks the fast tier's speedup in-process:
+// the recorded trajectory ratio is ≥1.5× (BENCH_train.json, enforced with
+// slack by the CI benchgate), and this test catches gross regressions —
+// fused kernels silently compiled out, striping gone sequential — at a
+// 1.3× floor that leaves headroom for scheduler noise on loaded
+// single-core hosts, where best-of-three rounds still jitter by ~10%.
+func TestFastSpeedupFloor(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing test")
+	}
+	if !fusedKernels {
+		t.Skip("fused kernels unavailable on this target (need GOAMD64=v3 or arm64)")
+	}
+	const rounds, epochs = 3, 5
+	best := func(fast bool) time.Duration {
+		setFastEnabled(fast)
+		defer setFastEnabled(true)
+		min := time.Duration(1<<63 - 1)
+		for r := 0; r < rounds; r++ {
+			if d := timeEpochs(t, epochs); d < min {
+				min = d
+			}
+		}
+		return min
+	}
+	timeEpochs(t, 1) // warm scratch and page in both paths
+	scalar := best(false)
+	fastd := best(true)
+	ratio := float64(scalar) / float64(fastd)
+	t.Logf("scalar %v, fast %v, ratio %.2fx", scalar, fastd, ratio)
+	if ratio < 1.3 {
+		t.Fatalf("fast tier speedup %.2fx, want >= 1.3x (scalar %v, fast %v)", ratio, scalar, fastd)
+	}
+}

@@ -1,0 +1,242 @@
+//go:build fma
+
+package nn
+
+// The fast tier's parity oracle. The two-tier determinism policy promises:
+//
+//   - Scalar vs fast: same data, same seed, results agree within a
+//     floating-point tolerance (fused rounding and stripe-reduction
+//     reassociation are the only deviations) — TestFastTierParityOracle,
+//     across every optimizer × loss combination at 1 and 4 workers.
+//   - Fast vs fast at a fixed worker count: bit-identical, run to run and
+//     across GOMAXPROCS — TestFastTierRunToRun,
+//     TestFastTierGOMAXPROCSInvariant.
+//   - Structural guarantees carry over: frozen layers stay bit-untouched
+//     and validated early stopping works on the striped path —
+//     TestFastTierFrozenBitIdentity, TestFastTierEarlyStop.
+//   - The scalar tier's own 1e-6 oracle versus the retired loop still
+//     holds when the fast tier runs with multiple workers, because CI
+//     executes the whole package under `-tags fma` on multi-core runners —
+//     TestFastTierLegacyOracleAtFourWorkers.
+
+import (
+	"context"
+	"math"
+	"runtime"
+	"testing"
+)
+
+// trainTier trains a fresh network on the given tier and returns it.
+func trainTier(t *testing.T, cfg Config, x, y [][]float64, fast bool, workers int) *Network {
+	t.Helper()
+	setFastEnabled(fast)
+	defer setFastEnabled(true)
+	SetFastWorkers(workers)
+	defer SetFastWorkers(0)
+	net, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.Train(context.Background(), x, y); err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+// weightsWithin asserts every weight and bias of a and b agrees within
+// tol (relClose); tol 0 demands bit equality.
+func weightsWithin(t *testing.T, a, b *Network, tol float64) {
+	t.Helper()
+	for li, la := range a.layers {
+		lb := b.layers[li]
+		for i := range la.w {
+			if tol == 0 && la.w[i] != lb.w[i] {
+				t.Fatalf("layer %d w[%d]: %v vs %v (want bit-identical)", li, i, la.w[i], lb.w[i])
+			}
+			if tol > 0 && !relClose(la.w[i], lb.w[i], tol) {
+				t.Fatalf("layer %d w[%d]: %v vs %v (tol %g)", li, i, la.w[i], lb.w[i], tol)
+			}
+		}
+		for o := range la.b {
+			if tol == 0 && la.b[o] != lb.b[o] {
+				t.Fatalf("layer %d b[%d]: %v vs %v (want bit-identical)", li, o, la.b[o], lb.b[o])
+			}
+			if tol > 0 && !relClose(la.b[o], lb.b[o], tol) {
+				t.Fatalf("layer %d b[%d]: %v vs %v (tol %g)", li, o, la.b[o], lb.b[o], tol)
+			}
+		}
+	}
+}
+
+// TestFastTierParityOracle pits the fast tier against the scalar tier from
+// the same seed for every optimizer × loss combination, at one worker
+// (fused rounding only) and at four workers (fused rounding plus the
+// stripe-reduction grouping). The tolerance is wider than the scalar
+// tier's 1e-6 oracle against the retired loop: each fused multiply-add
+// rounds once where the scalar kernel rounds twice, and the optimizers
+// amplify that drift over the epochs without diverging.
+func TestFastTierParityOracle(t *testing.T) {
+	if !fusedKernels {
+		t.Skip("fused kernels unavailable on this target (need GOAMD64=v3 or arm64)")
+	}
+	x, y := makeLinearData(90, 7, 3, 21)
+	const tol = 1e-3
+	for _, opt := range []Optimizer{SGD, Adam, Adagrad} {
+		for _, loss := range []Loss{MSE, MAE, MAPE} {
+			t.Run(string(opt)+"/"+string(loss), func(t *testing.T) {
+				cfg := Config{
+					Inputs: 7, Outputs: 3, Hidden: []int{24, 24},
+					Optimizer: opt, Loss: loss, Epochs: 12, Seed: 5, L2: 0.01,
+				}
+				scalar := trainTier(t, cfg, x, y, false, 0)
+				for _, workers := range []int{1, 4} {
+					fast := trainTier(t, cfg, x, y, true, workers)
+					weightsWithin(t, scalar, fast, tol)
+					for s := 0; s < 5; s++ {
+						want, err := scalar.Predict(x[s])
+						if err != nil {
+							t.Fatal(err)
+						}
+						got, err := fast.Predict(x[s])
+						if err != nil {
+							t.Fatal(err)
+						}
+						for j := range got {
+							if !relClose(got[j], want[j], tol) {
+								t.Fatalf("workers=%d sample %d out %d: fast %v vs scalar %v",
+									workers, s, j, got[j], want[j])
+							}
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestFastTierRunToRun asserts fast-tier training is bit-reproducible at a
+// fixed worker count: the stripe decomposition and the tree-reduction
+// grouping are pure functions of (batch, workers), so scheduling order
+// cannot move a single bit.
+func TestFastTierRunToRun(t *testing.T) {
+	x, y := makeLinearData(90, 7, 3, 21)
+	cfg := Config{
+		Inputs: 7, Outputs: 3, Hidden: []int{24, 24},
+		Optimizer: Adam, Loss: MAPE, Epochs: 8, Seed: 11, L2: 0.01,
+	}
+	first := trainTier(t, cfg, x, y, true, 4)
+	for run := 0; run < 3; run++ {
+		weightsWithin(t, first, trainTier(t, cfg, x, y, true, 4), 0)
+	}
+}
+
+// TestFastTierGOMAXPROCSInvariant asserts the worker count — not the
+// scheduler's parallelism — decides the numeric result: the same pinned
+// worker count yields bit-identical training at GOMAXPROCS 1, 2, and 4.
+func TestFastTierGOMAXPROCSInvariant(t *testing.T) {
+	x, y := makeLinearData(60, 5, 2, 33)
+	cfg := Config{
+		Inputs: 5, Outputs: 2, Hidden: []int{16, 16},
+		Optimizer: Adam, Loss: MSE, Epochs: 6, Seed: 3,
+	}
+	old := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(old)
+	runtime.GOMAXPROCS(1)
+	first := trainTier(t, cfg, x, y, true, 3)
+	for _, gmp := range []int{2, 4} {
+		runtime.GOMAXPROCS(gmp)
+		weightsWithin(t, first, trainTier(t, cfg, x, y, true, 3), 0)
+	}
+}
+
+// TestFastTierFrozenBitIdentity carries the freeze guarantee onto the
+// striped path: frozen layers' weights stay bit-identical through
+// fast-tier training (their slabs are never reduced, their update never
+// applied).
+func TestFastTierFrozenBitIdentity(t *testing.T) {
+	x, y := makeLinearData(60, 4, 2, 13)
+	net, err := New(Config{
+		Inputs: 4, Outputs: 2, Hidden: []int{16, 16},
+		Optimizer: Adam, Loss: MSE, Epochs: 2, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	SetFastWorkers(4)
+	defer SetFastWorkers(0)
+	ctx := context.Background()
+	if _, err := net.TrainEpochs(ctx, x, y, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.SetFrozenLayers(2); err != nil {
+		t.Fatal(err)
+	}
+	var frozenW, frozenB [][]float64
+	for li := 0; li < 2; li++ {
+		frozenW = append(frozenW, append([]float64(nil), net.layers[li].w...))
+		frozenB = append(frozenB, append([]float64(nil), net.layers[li].b...))
+	}
+	if _, err := net.TrainEpochs(ctx, x, y, 4); err != nil {
+		t.Fatal(err)
+	}
+	for li := 0; li < 2; li++ {
+		for i, w := range net.layers[li].w {
+			if w != frozenW[li][i] {
+				t.Fatalf("frozen layer %d w[%d] moved: %v -> %v", li, i, frozenW[li][i], w)
+			}
+		}
+		for o, b := range net.layers[li].b {
+			if b != frozenB[li][o] {
+				t.Fatalf("frozen layer %d b[%d] moved: %v -> %v", li, o, frozenB[li][o], b)
+			}
+		}
+	}
+}
+
+// TestFastTierEarlyStop smoke-tests validated training on the striped
+// path: the best-weights snapshot/restore must interleave correctly with
+// per-worker slabs, and the returned network must hold usable weights.
+func TestFastTierEarlyStop(t *testing.T) {
+	x, y := makeLinearData(80, 5, 2, 17)
+	net, err := New(Config{
+		Inputs: 5, Outputs: 2, Hidden: []int{16},
+		Optimizer: Adam, Loss: MSE, Seed: 29,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	SetFastWorkers(4)
+	defer SetFastWorkers(0)
+	stats, err := net.TrainWithValidation(context.Background(), x[:60], y[:60], 30,
+		Validation{X: x[60:], Y: y[60:], Patience: 5}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.EpochsRun < 1 || stats.EpochsRun > 30 {
+		t.Fatalf("EpochsRun %d outside [1, 30]", stats.EpochsRun)
+	}
+	if stats.BestEpoch < 1 || stats.BestEpoch > stats.EpochsRun {
+		t.Fatalf("BestEpoch %d outside [1, %d]", stats.BestEpoch, stats.EpochsRun)
+	}
+	got, err := net.Predict(x[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j, v := range got {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("prediction %d not finite: %v", j, v)
+		}
+	}
+}
+
+// TestFastTierLegacyOracleAtFourWorkers re-runs the scalar tier's 1e-6
+// oracle against the retired loop with the fast tier pinned to four
+// workers — the configuration CI's multi-core runners exercise when the
+// whole package runs under `-tags fma`. It guards the legacy suite
+// against striping-induced drift beyond its tolerance.
+func TestFastTierLegacyOracleAtFourWorkers(t *testing.T) {
+	SetFastWorkers(4)
+	defer SetFastWorkers(0)
+	t.Run("retired-loop", TestEngineParityWithRetiredLoop)
+	t.Run("odd-batch", TestEngineParityOddBatch)
+}

@@ -30,6 +30,38 @@
 // internal/core) reproduce a continuous run bit-for-bit; a validated run's
 // best-weights restore ends that equivalence, so it belongs at the end of
 // a schedule.
+//
+// # Determinism policy
+//
+// The kernels come in two tiers with different reproducibility contracts:
+//
+// Tier 1 (the default build) is bit-reproducible: pure scalar kernels, a
+// fixed sample order within every mini-batch, and no parallelism inside a
+// single Train call. A fixed seed reproduces the same weights to the last
+// bit on every platform, serialization is byte-identical across runs, and
+// the retired per-sample loop in reference_test.go is the 1e-6 parity
+// oracle. This is the tier every test fixture and every saved model file
+// is pinned against.
+//
+// Tier 2 (go build -tags fma; kernels_fused.go, tier_fma.go) trades
+// bit-compatibility with tier 1 for speed: every kernel is rewritten
+// around math.FMA (fused multiply-add rounds once, not twice), and the
+// mini-batch is striped across bounded workers from internal/pool with
+// per-worker gradient slabs merged in a fixed tree order. The contract
+// weakens to run-to-run determinism: at a fixed worker count
+// (SetFastWorkers) results are bit-identical across runs and across
+// GOMAXPROCS settings, but they differ from tier 1 in the low bits —
+// fma_parity_test.go holds the two tiers within a 1e-3 tolerance oracle
+// over every optimizer × loss combination. On amd64 the fused kernels
+// require GOAMD64=v3 (otherwise math.FMA takes a per-call feature test
+// and kernels_fused_off.go aliases the tier back to scalar, keeping the
+// build valid but pointless).
+//
+// The determinism analyzer in internal/analysis enforces the boundary
+// mechanically: untagged files in this package may not accumulate floats
+// into shared state from pool worker closures; files behind the fma build
+// tag may, because the tolerance oracle (not bit-equality) is their
+// contract.
 package nn
 
 import (
@@ -273,25 +305,14 @@ func (n *Network) PredictInto(x []float64, scratch Scratch) ([]float64, error) {
 }
 
 // forwardInto computes the layer output for one sample into out without
-// allocating. The dot product uses four independent accumulators, breaking
-// the add-latency dependency chain that bounds the naive loop —
-// deterministic, and identical in summation order to the mini-batch
-// engine's remainder kernel.
+// allocating, through the tier-dispatched dot kernel: the default tier's
+// dotBias is the four-accumulator scalar loop (deterministic, identical in
+// summation order to the mini-batch engine's remainder kernel); `-tags
+// fma` builds swap in the FMA dot so the recommender's per-function
+// recompute path rides the fused kernels too.
 func (d *dense) forwardInto(x, out []float64) {
 	for o := 0; o < d.out; o++ {
-		w := d.row(o)
-		var s0, s1, s2, s3 float64
-		n := len(x) &^ 3
-		for i := 0; i < n; i += 4 {
-			s0 += w[i] * x[i]
-			s1 += w[i+1] * x[i+1]
-			s2 += w[i+2] * x[i+2]
-			s3 += w[i+3] * x[i+3]
-		}
-		s := d.b[o] + s0 + s1 + s2 + s3
-		for i := n; i < len(x); i++ {
-			s += w[i] * x[i]
-		}
+		s := dotBias(d.row(o), x, d.b[o])
 		if d.relu && s < 0 {
 			s = 0
 		}
@@ -299,15 +320,21 @@ func (d *dense) forwardInto(x, out []float64) {
 	}
 }
 
-// PredictBatch runs forward passes for many samples.
+// PredictBatch runs forward passes for many samples through the batched
+// engine (ForwardBatch): blocked GEMM kernels over pooled scratch instead
+// of a per-sample loop. Results match Predict within floating-point
+// reassociation (a few ULPs) and are deterministic.
 func (n *Network) PredictBatch(xs [][]float64) ([][]float64, error) {
 	out := make([][]float64, len(xs))
-	for i, x := range xs {
-		p, err := n.Predict(x)
-		if err != nil {
-			return nil, err
-		}
-		out[i] = p
+	if len(xs) == 0 {
+		return out, nil
+	}
+	flat := make([]float64, len(xs)*n.cfg.Outputs)
+	for i := range out {
+		out[i] = flat[i*n.cfg.Outputs : (i+1)*n.cfg.Outputs]
+	}
+	if err := n.ForwardBatch(xs, out, nil); err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -543,7 +543,14 @@ func (s *Service) IngestBatch(ctx context.Context, batch map[string][]monitoring
 // with summaries. Unlike Ingest it does not touch per-function tracking
 // state.
 func (s *Service) RecommendBatch(ctx context.Context, summaries []monitoring.Summary) ([]optimizer.Recommendation, error) {
-	times, err := s.model.Load().PredictBatch(ctx, summaries, s.cfg.Workers)
+	workers := s.cfg.Workers
+	if workers > len(summaries) {
+		// Single-function recomputes reach here through the drain path; a
+		// configured fleet-sized worker count must not spawn idle
+		// goroutines for them.
+		workers = len(summaries)
+	}
+	times, err := s.model.Load().PredictBatch(ctx, summaries, workers)
 	if err != nil {
 		return nil, fmt.Errorf("recommender: %w", err)
 	}
