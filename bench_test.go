@@ -14,12 +14,15 @@ package sizeless_test
 import (
 	"context"
 	"io"
+	"math"
 	"sort"
 	"sync"
 	"testing"
 	"time"
 
+	"sizeless/internal/apps"
 	"sizeless/internal/core"
+	"sizeless/internal/dag"
 	"sizeless/internal/dataset"
 	"sizeless/internal/experiments"
 	"sizeless/internal/fleetsynth"
@@ -801,6 +804,50 @@ func BenchmarkScenarioGenNaive(b *testing.B) {
 		sched := naiveSample(p, scenarioBenchHorizon, xrand.New(1).Derive("naive"))
 		if len(sched) == 0 {
 			b.Fatal("empty schedule")
+		}
+	}
+}
+
+// ---- Application-planning benchmarks ----
+
+// BenchmarkAppPlan measures the application planner itself: the joint
+// size + fusion search of dag.Compare over the hello-retail DAG (the
+// largest case-study app). Per-function times are fabricated analytically
+// — a CPU-scaling component atop a fixed service floor — so the timed
+// loop contains planning only, no measurement campaign.
+func BenchmarkAppPlan(b *testing.B) {
+	app := apps.HelloRetail()
+	provider := platform.AWSLambda()
+	sizes := provider.DefaultSizes()
+	times := make(map[string]map[platform.MemorySize]float64, len(app.Functions))
+	for i, spec := range app.Functions {
+		per := make(map[platform.MemorySize]float64, len(sizes))
+		for _, m := range sizes {
+			cpu := 300 * float64(i%3+1) * 1792 / math.Min(float64(m), 1792)
+			per[m] = 80 + cpu
+		}
+		times[spec.Name] = per
+	}
+	g, err := app.Graph(times)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := dag.Config{
+		Platform: provider.Platform(),
+		Sizes:    sizes,
+		Rate:     app.Rate,
+		Seed:     1,
+	}
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cmp, err := dag.Compare(ctx, g, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if cmp.PerFunction == nil || cmp.SizesOnly == nil || cmp.Fused == nil {
+			b.Fatal("incomplete comparison")
 		}
 	}
 }

@@ -11,7 +11,7 @@
 // Experiment ids: fig1 fig3 fig4 fig5 table2 table3 fig6 table4-7 fig7
 // table8 baselines ablation-targets ablation-features ablation-increments
 // transfer transfer-matrix ingest-scale train-scale search-scale
-// scenario-matrix.
+// scenario-matrix app-matrix.
 //
 // "transfer-matrix" goes beyond the paper: it trains a model per built-in
 // provider and scores every source→target pair under the stale, fine-tuned
@@ -41,6 +41,13 @@
 // false positives and latency, recomputation-policy cost regret, and
 // per-provider cold-start billing overhead (the trajectory behind
 // BENCH_scenario.json).
+//
+// "app-matrix" goes beyond the paper's per-function scope: it measures the
+// four case-study applications on each built-in provider and plans every
+// app three ways — per-function-optimal sizes (the paper's optimizer),
+// application-optimal sizes under the end-to-end DAG latency/cost model,
+// and application-optimal sizes plus function fusion — reporting the cost
+// and critical-path latency deltas of application-aware planning.
 package main
 
 import (
@@ -129,6 +136,9 @@ func runners() []experimentRunner {
 		}},
 		{"scenario-matrix", func(ctx context.Context, lab *experiments.Lab) (renderable, error) {
 			return experiments.ScenarioMatrix(ctx, lab)
+		}},
+		{"app-matrix", func(ctx context.Context, lab *experiments.Lab) (renderable, error) {
+			return experiments.AppMatrix(ctx, lab)
 		}},
 	}
 }

@@ -11,7 +11,7 @@ func TestKnownIDs(t *testing.T) {
 		"fig6", "table4-7", "fig7", "table8", "baselines",
 		"ablation-targets", "ablation-features", "ablation-increments", "transfer",
 		"transfer-matrix", "ingest-scale", "train-scale", "search-scale",
-		"scenario-matrix"} {
+		"scenario-matrix", "app-matrix"} {
 		if !knownID(id) {
 			t.Errorf("experiment id %q not registered", id)
 		}

@@ -6,6 +6,7 @@
 //	sizeless recommend ... -provider gcp-cloudfunctions
 //	sizeless adapt -model model.json -dataset gcp-small.csv -provider gcp-cloudfunctions -out adapted.json
 //	sizeless serve -model model.json -addr :8080 -snapshot fleet.snap
+//	sizeless plan -app hello-retail -provider aws-lambda -t 0.75
 //	sizeless demo -provider azure-functions
 //	sizeless providers
 //
@@ -23,9 +24,15 @@
 // "serve" runs the fleet-recommendation daemon: an HTTP API over the sharded
 // recommender service with bounded ingest queues (429 + Retry-After under
 // saturation), periodic + shutdown fleet snapshots restored on restart, and
-// an optional drift-triggered auto-adaptation loop (-adapt-dataset). "demo"
-// runs the whole pipeline end-to-end at a small scale on the selected
-// provider. "providers" lists the registered platforms.
+// an optional drift-triggered auto-adaptation loop (-adapt-dataset). "plan"
+// is application-aware sizing: it measures one case-study application's
+// functions across the provider's grid and plans the whole app three ways —
+// per-function-optimal sizes (the paper's optimizer), jointly optimal sizes
+// under the end-to-end DAG model, and jointly optimal sizes plus function
+// fusion — printing each plan's deployment units, end-to-end cost per
+// request, and critical-path latency. "demo" runs the whole pipeline
+// end-to-end at a small scale on the selected provider. "providers" lists
+// the registered platforms.
 //
 // Every subcommand honours Ctrl-C and SIGTERM: measurement campaigns and
 // training stop at the next experiment/epoch boundary, and the serve
@@ -40,14 +47,19 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"sizeless"
+	"sizeless/internal/apps"
 	"sizeless/internal/core"
+	"sizeless/internal/dag"
 	"sizeless/internal/dataset"
+	"sizeless/internal/harness"
 	"sizeless/internal/monitoring"
 	"sizeless/internal/platform"
+	"sizeless/internal/runtime"
 	"sizeless/internal/serve"
 )
 
@@ -62,9 +74,11 @@ func main() {
 
 func run(ctx context.Context, args []string) error {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: sizeless <train|evaluate|recommend|adapt|serve|demo|providers> [flags]")
+		return fmt.Errorf("usage: sizeless <train|evaluate|recommend|adapt|serve|plan|demo|providers> [flags]")
 	}
 	switch args[0] {
+	case "plan":
+		return cmdPlan(ctx, args[1:])
 	case "train":
 		return cmdTrain(ctx, args[1:])
 	case "evaluate":
@@ -445,6 +459,98 @@ func cmdServe(ctx context.Context, args []string) error {
 		return err
 	}
 	return srv.Run(ctx)
+}
+
+// cmdPlan is application-aware sizing: measure one case-study app on the
+// selected provider and plan it per-function, jointly (sizes only), and
+// jointly with fusion, printing the three deployments side by side.
+func cmdPlan(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("plan", flag.ContinueOnError)
+	appName := fs.String("app", "hello-retail", "case-study application (use -list to enumerate)")
+	list := fs.Bool("list", false, "list the case-study applications and exit")
+	providerName := fs.String("provider", platform.AWSLambdaName, "platform provider (see 'sizeless providers')")
+	tradeoff := fs.Float64("t", dag.DefaultTradeoff, "cost/performance tradeoff in (0,1]")
+	rate := fs.Float64("rate", 0, "application request rate in req/s driving cold-start exposure (0 = the app's documented rate)")
+	duration := fs.Duration("duration", 10*time.Second, "measurement duration per function × size")
+	seed := fs.Int64("seed", 1, "measurement and planning seed (plans are bit-identical per seed)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		for _, a := range apps.All() {
+			fmt.Printf("%-20s %d functions, %d edges, %g req/s\n", a.Name, len(a.Functions), len(a.Edges), a.Rate)
+		}
+		return nil
+	}
+	provider, err := sizeless.ProviderByName(*providerName)
+	if err != nil {
+		return err
+	}
+	var app apps.App
+	found := false
+	for _, a := range apps.All() {
+		if a.Name == *appName {
+			app, found = a, true
+		}
+	}
+	if !found {
+		return fmt.Errorf("unknown app %q (try 'sizeless plan -list')", *appName)
+	}
+
+	sizes := provider.DefaultSizes()
+	env := runtime.NewEnvFor(provider.Platform())
+	env.Drift = app.Drift
+	opts := harness.Options{Env: env, Rate: app.Rate, Duration: *duration, Seed: *seed}
+	fmt.Fprintf(os.Stderr, "measuring %s: %d functions × %d sizes on %s...\n",
+		app.Name, len(app.Functions), len(sizes), provider.Name())
+	times := make(map[string]map[platform.MemorySize]float64, len(app.Functions))
+	for _, spec := range app.Functions {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		per := make(map[platform.MemorySize]float64, len(sizes))
+		for _, m := range sizes {
+			sum, err := harness.MeasureRepeated(opts, spec, m)
+			if err != nil {
+				return fmt.Errorf("measuring %s at %v: %w", spec.Name, m, err)
+			}
+			per[m] = sum.Mean[monitoring.ExecutionTime]
+		}
+		times[spec.Name] = per
+	}
+	g, err := app.Graph(times)
+	if err != nil {
+		return err
+	}
+	planRate := *rate
+	if planRate <= 0 {
+		planRate = app.Rate
+	}
+	cmp, err := dag.Compare(ctx, g, dag.Config{
+		Platform: provider.Platform(),
+		Sizes:    sizes,
+		Tradeoff: *tradeoff,
+		Rate:     planRate,
+		Seed:     *seed,
+	})
+	if err != nil {
+		return err
+	}
+
+	printPlan := func(title string, pl *dag.Plan) {
+		fmt.Printf("%s\n", title)
+		for _, gp := range pl.Groups {
+			fmt.Printf("  %-8v %9.1fms  %s\n", gp.Memory, gp.LatencyMs, strings.Join(gp.Functions, " + "))
+		}
+		fmt.Printf("  => %.3g $/req, %.1fms critical path, %.0f invocations/req, S_total=%.3f\n\n",
+			pl.CostPerReq, pl.LatencyMs, pl.InvocationsPerReq, pl.STotal)
+	}
+	fmt.Printf("application %s on %s (t=%.2f, %g req/s, seed %d)\n\n",
+		app.Name, provider.Name(), *tradeoff, planRate, *seed)
+	printPlan("per-function-optimal (paper's optimizer per function):", cmp.PerFunction)
+	printPlan("application-optimal, sizes only:", cmp.SizesOnly)
+	printPlan("application-optimal, sizes + fusion:", cmp.Fused)
+	return nil
 }
 
 func cmdDemo(ctx context.Context, args []string) error {

@@ -222,6 +222,28 @@ func TestRunErrors(t *testing.T) {
 	}
 }
 
+func TestPlanSubcommand(t *testing.T) {
+	if testing.Short() {
+		t.Skip("measures an app across the memory grid")
+	}
+	ctx := context.Background()
+	if err := run(ctx, []string{"plan", "-list"}); err != nil {
+		t.Fatalf("plan -list: %v", err)
+	}
+	if err := run(ctx, []string{"plan", "-app", "airline-booking", "-duration", "3s"}); err != nil {
+		t.Fatalf("plan: %v", err)
+	}
+	if err := run(ctx, []string{"plan", "-app", "no-such-app"}); err == nil {
+		t.Error("unknown app should error")
+	}
+	if err := run(ctx, []string{"plan", "-provider", "no-such-cloud"}); err == nil {
+		t.Error("unknown provider should error")
+	}
+	if err := run(ctx, []string{"plan", "-app", "hello-retail", "-t", "1.5"}); err == nil {
+		t.Error("out-of-range tradeoff should error")
+	}
+}
+
 func TestDemo(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs a small measurement campaign")

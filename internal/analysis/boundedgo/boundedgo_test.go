@@ -12,6 +12,9 @@ func TestAnalyzer(t *testing.T) {
 	// a/cmd/tool and a/internal/pool: exempt scopes, asserted silent.
 	// a/internal/serve: daemon-shaped packages are in scope — background
 	// loops and per-shard drainers get no goroutine dispensation.
+	// a/internal/dag: planner-shaped packages too — shape-search fan-out
+	// must ride internal/pool like every other parallel section.
 	analysistest.Run(t, analysistest.TestData(t), boundedgo.Analyzer,
-		"a/internal/lib", "a/cmd/tool", "a/internal/pool", "a/internal/serve")
+		"a/internal/lib", "a/cmd/tool", "a/internal/pool", "a/internal/serve",
+		"a/internal/dag")
 }

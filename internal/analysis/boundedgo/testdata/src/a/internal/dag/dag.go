@@ -1,0 +1,29 @@
+// Package dag is planner-shaped library code: its shape search fans out
+// over candidate fusion plans, and that fan-out must ride internal/pool —
+// a naked per-shape goroutine would unbound the worker count and lose the
+// lowest-index-error contract the planner's determinism rests on.
+package dag
+
+import "sync"
+
+// SearchShapes violates the fan-out invariant: one naked goroutine per
+// candidate shape.
+func SearchShapes(shapes []int, score func(int)) {
+	var wg sync.WaitGroup
+	for _, sh := range shapes {
+		wg.Add(1)
+		go func() { // want `naked go statement in library package`
+			defer wg.Done()
+			score(sh)
+		}()
+	}
+	wg.Wait()
+}
+
+// WatchCancel shows background helpers get no dispensation either.
+func WatchCancel(done chan struct{}, cancel func()) {
+	go func() { // want `naked go statement in library package`
+		<-done
+		cancel()
+	}()
+}

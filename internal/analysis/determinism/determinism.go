@@ -51,9 +51,12 @@ var seedSinks = map[string]bool{
 // numericScoped reports whether the map-order rule applies: the packages
 // whose float pipelines feed the bit-exact results. internal/loadgen is in
 // scope because schedule sampling must be bit-identical per seed — the
-// scenario lab's byte-for-byte reproducibility rests on it.
+// scenario lab's byte-for-byte reproducibility rests on it. internal/dag
+// is in scope because the application planner promises identical plans per
+// seed at any worker count: a latency or cost sum assembled in map order
+// would silently break plan reproducibility.
 func numericScoped(path string) bool {
-	for _, seg := range []string{"internal/nn", "internal/core", "internal/stats", "internal/xrand", "internal/loadgen"} {
+	for _, seg := range []string{"internal/nn", "internal/core", "internal/stats", "internal/xrand", "internal/loadgen", "internal/dag"} {
 		if analysis.PathHasSegment(path, seg) {
 			return true
 		}

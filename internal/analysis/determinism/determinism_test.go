@@ -14,6 +14,9 @@ func TestAnalyzer(t *testing.T) {
 	// c/internal/util: outside the numeric scope, asserted silent.
 	// c/internal/loadgen: the scenario engine's scope — seedless draws and
 	// map-order schedule assembly flagged.
+	// c/internal/dag: the application planner's scope — per-seed plan
+	// reproducibility forbids seedless jitter and map-order cost assembly.
 	analysistest.Run(t, analysistest.TestData(t), determinism.Analyzer,
-		"c/internal/nn", "c/internal/nn/fastpath", "c/internal/util", "c/internal/loadgen")
+		"c/internal/nn", "c/internal/nn/fastpath", "c/internal/util", "c/internal/loadgen",
+		"c/internal/dag")
 }

@@ -1,0 +1,44 @@
+// Package dag sits in a numeric-scoped path (segment internal/dag): the
+// application planner promises identical plans per seed at any worker
+// count, so the seedless-randomness and map-order rules both apply to its
+// latency/cost assembly.
+package dag
+
+import "math/rand"
+
+// JitterMs perturbs an edge overhead from the shared seedless source —
+// plans would differ run to run.
+func JitterMs(base float64) float64 {
+	return base + rand.Float64() // want `seedless global math/rand\.Float64`
+}
+
+// PathCost sums per-group costs in map-iteration order: float addition is
+// not associative, so the total depends on traversal order.
+func PathCost(groups map[string]float64) float64 {
+	var total float64
+	for _, c := range groups {
+		total += c // want `float accumulation into total in map-iteration order`
+	}
+	return total
+}
+
+// CollectGroups assembles the plan's group order from a map range — the
+// rendered plan would reshuffle between runs.
+func CollectGroups(groups map[string]float64) []string {
+	var names []string
+	for name := range groups {
+		names = append(names, name) // want `append to names in map-iteration order`
+	}
+	return names
+}
+
+// SortedCost is the sanctioned pattern: the planner threads an explicit
+// group order (topological, tie-broken by name) and sums along it, so the
+// accumulation order is fixed per seed.
+func SortedCost(order []string, groups map[string]float64) float64 {
+	var total float64
+	for _, name := range order {
+		total += groups[name]
+	}
+	return total
+}

@@ -16,6 +16,8 @@ import (
 	"fmt"
 	"time"
 
+	"sizeless/internal/dag"
+	"sizeless/internal/platform"
 	"sizeless/internal/services"
 	"sizeless/internal/workload"
 )
@@ -26,6 +28,11 @@ type App struct {
 	Name string
 	// Functions are the application's serverless functions.
 	Functions []*workload.Spec
+	// Edges are the invocation edges between the functions — the
+	// application's DAG structure, consumed by Graph and the
+	// application-level planner in internal/dag. Functions absent from
+	// every edge are standalone entry points.
+	Edges []dag.Edge
 	// Rate and Duration describe the paper's measurement workload (§4).
 	Rate     float64
 	Duration time.Duration
@@ -34,6 +41,31 @@ type App struct {
 	Drift float64
 	// MeasuredAfter documents the gap to the training dataset.
 	MeasuredAfter string
+}
+
+// Graph assembles the app's dag.Graph from per-function execution times
+// (memory size → mean milliseconds, predicted or measured). Every function
+// must have a times entry.
+func (a App) Graph(times map[string]map[platform.MemorySize]float64) (*dag.Graph, error) {
+	g := dag.New(a.Name)
+	for _, f := range a.Functions {
+		t, ok := times[f.Name]
+		if !ok {
+			return nil, fmt.Errorf("apps: %s: no times for function %q", a.Name, f.Name)
+		}
+		if err := g.Add(f, t); err != nil {
+			return nil, err
+		}
+	}
+	for _, e := range a.Edges {
+		if err := g.Connect(e); err != nil {
+			return nil, err
+		}
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
 }
 
 // Spec returns the function with the given name.
@@ -148,6 +180,19 @@ func AirlineBooking() App {
 				BaseHeapMB: 30, CodeMB: 3.6, PayloadKB: 5, ResponseKB: 2, NoiseCoV: 0.12,
 			},
 		},
+		// The booking state machine: ReserveBooking starts the Step
+		// Functions flow, CollectPayment orchestrates the payment provider
+		// (charge creation/capture as nested synchronous calls), and the
+		// confirmed booking fans into the async notification → loyalty
+		// pipeline over SNS. GetLoyalty is the standalone read API.
+		Edges: []dag.Edge{
+			{From: "ReserveBooking", To: "CollectPayment", Trigger: dag.TriggerSync},
+			{From: "CollectPayment", To: "CreateCharge", Trigger: dag.TriggerSync},
+			{From: "CreateCharge", To: "CaptureCharge", Trigger: dag.TriggerSync},
+			{From: "CollectPayment", To: "ConfirmBooking", Trigger: dag.TriggerSync},
+			{From: "ConfirmBooking", To: "NotifyBooking", Trigger: dag.TriggerQueue},
+			{From: "NotifyBooking", To: "IngestLoyalty", Trigger: dag.TriggerQueue},
+		},
 	}
 }
 
@@ -205,6 +250,14 @@ func FacialRecognition() App {
 				},
 				BaseHeapMB: 36, CodeMB: 6.0, PayloadKB: 2, ResponseKB: 1, NoiseCoV: 0.14,
 			},
+		},
+		// The indexing state machine: detection gates the search → index →
+		// persist chain and forks the thumbnail render off the same photo.
+		Edges: []dag.Edge{
+			{From: "FaceDetection", To: "FaceSearch", Trigger: dag.TriggerSync},
+			{From: "FaceSearch", To: "IndexFace", Trigger: dag.TriggerSync},
+			{From: "IndexFace", To: "PersistMetadata", Trigger: dag.TriggerSync},
+			{From: "FaceDetection", To: "CreateThumbnail", Trigger: dag.TriggerSync},
 		},
 	}
 }
@@ -277,6 +330,18 @@ func EventProcessing() App {
 				},
 				BaseHeapMB: 26, CodeMB: 2.6, PayloadKB: 3, ResponseKB: 1, NoiseCoV: 0.12,
 			},
+		},
+		// The ingest pipeline: IngestEvent publishes to SNS, the three
+		// formatters consume it in parallel and feed EventInserter over
+		// SQS (a fan-out/fan-in diamond — no fusable chain anywhere).
+		// GetLatestEvents and ListAllEvents are standalone read APIs.
+		Edges: []dag.Edge{
+			{From: "IngestEvent", To: "FormatTemp", Trigger: dag.TriggerQueue},
+			{From: "IngestEvent", To: "FormatState", Trigger: dag.TriggerQueue},
+			{From: "IngestEvent", To: "FormatForecast", Trigger: dag.TriggerQueue},
+			{From: "FormatTemp", To: "EventInserter", Trigger: dag.TriggerQueue},
+			{From: "FormatState", To: "EventInserter", Trigger: dag.TriggerQueue},
+			{From: "FormatForecast", To: "EventInserter", Trigger: dag.TriggerQueue},
 		},
 	}
 }
@@ -352,6 +417,16 @@ func HelloRetail() App {
 				},
 				BaseHeapMB: 32, CodeMB: 3.8, PayloadKB: 2, ResponseKB: 1, NoiseCoV: 0.14,
 			},
+		},
+		// The photo-registration state machine is a pure synchronous chain
+		// (assign → receive → process → report); the event-sourced catalog
+		// side rides Kinesis, whose stream consumer cannot be fused into
+		// its producer. ProductCatalogApi is the standalone read API.
+		Edges: []dag.Edge{
+			{From: "PhotoAssign", To: "PhotoReceive", Trigger: dag.TriggerSync},
+			{From: "PhotoReceive", To: "PhotoProcessor", Trigger: dag.TriggerSync},
+			{From: "PhotoProcessor", To: "PhotoReport", Trigger: dag.TriggerSync},
+			{From: "EventWriter", To: "ProductCatalogBuilder", Trigger: dag.TriggerStream},
 		},
 	}
 }

@@ -74,6 +74,55 @@ func TestFunctionNamesUniqueAcrossApps(t *testing.T) {
 	}
 }
 
+func TestPerAppSpecsValidateAndNamesUnique(t *testing.T) {
+	// App.Spec resolves functions by name and silently returns the first
+	// match, so a duplicate name inside one app would shadow a function;
+	// every spec must also pass workload validation on its own (not just
+	// survive instantiation).
+	for _, app := range All() {
+		seen := make(map[string]bool, len(app.Functions))
+		for _, spec := range app.Functions {
+			if err := spec.Validate(); err != nil {
+				t.Errorf("%s/%s: invalid spec: %v", app.Name, spec.Name, err)
+			}
+			if seen[spec.Name] {
+				t.Errorf("%s: duplicate function name %q", app.Name, spec.Name)
+			}
+			seen[spec.Name] = true
+		}
+	}
+}
+
+func TestAppGraphsValidate(t *testing.T) {
+	// Every app's edge metadata must reference known functions and form an
+	// acyclic graph; Graph is the planner's entry point, so a bad edge
+	// would only surface deep inside an experiment otherwise.
+	for _, app := range All() {
+		if len(app.Edges) == 0 {
+			t.Errorf("%s has no DAG edges", app.Name)
+			continue
+		}
+		times := make(map[string]map[platform.MemorySize]float64, len(app.Functions))
+		for _, spec := range app.Functions {
+			times[spec.Name] = map[platform.MemorySize]float64{platform.Mem256: 10}
+		}
+		g, err := app.Graph(times)
+		if err != nil {
+			t.Errorf("%s: %v", app.Name, err)
+			continue
+		}
+		if got := len(g.Functions()); got != len(app.Functions) {
+			t.Errorf("%s graph has %d functions, app has %d", app.Name, got, len(app.Functions))
+		}
+	}
+
+	// Missing times for a function must be rejected.
+	app := FacialRecognition()
+	if _, err := app.Graph(map[string]map[platform.MemorySize]float64{}); err == nil {
+		t.Error("Graph with no times succeeded")
+	}
+}
+
 func TestSpecLookup(t *testing.T) {
 	app := AirlineBooking()
 	if _, err := app.Spec("CreateCharge"); err != nil {

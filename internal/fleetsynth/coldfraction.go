@@ -1,0 +1,71 @@
+package fleetsynth
+
+import (
+	"sort"
+	"time"
+
+	"sizeless/internal/loadgen"
+)
+
+// ColdFraction replays an arrival schedule through the same warm-pool model
+// as Stream — keep-alive idle reaping, LIFO routing to the most recently
+// used warm instance, a fresh cold instance whenever every pooled instance
+// is busy — with a fixed per-invocation service time, and returns the
+// fraction of arrivals that start cold. It is the pure cold-start-exposure
+// probe: no metric synthesis, no windowing, no randomness beyond the
+// schedule itself, so identical inputs always yield the identical fraction.
+//
+// keepAlive <= 0 means instances are never reclaimed (only concurrency
+// growth pays cold starts). An empty schedule returns 0.
+func ColdFraction(sched loadgen.Schedule, service, keepAlive time.Duration) float64 {
+	if len(sched) == 0 {
+		return 0
+	}
+	arrivals := append(loadgen.Schedule(nil), sched...)
+	sort.Slice(arrivals, func(i, j int) bool { return arrivals[i] < arrivals[j] })
+
+	type slot struct {
+		busyUntil time.Duration
+		lastUsed  time.Duration
+	}
+	var pool []*slot
+	total, colds := 0, 0
+	for _, t := range arrivals {
+		if t < 0 {
+			continue
+		}
+		total++
+
+		if keepAlive > 0 {
+			kept := pool[:0]
+			for _, s := range pool {
+				if s.busyUntil <= t && t-s.lastUsed > keepAlive {
+					continue
+				}
+				kept = append(kept, s)
+			}
+			pool = kept
+		}
+
+		var warm *slot
+		for _, s := range pool {
+			if s.busyUntil > t {
+				continue
+			}
+			if warm == nil || s.lastUsed > warm.lastUsed {
+				warm = s
+			}
+		}
+		if warm == nil {
+			colds++
+			warm = &slot{}
+			pool = append(pool, warm)
+		}
+		warm.busyUntil = t + service
+		warm.lastUsed = warm.busyUntil
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(colds) / float64(total)
+}

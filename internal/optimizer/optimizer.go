@@ -91,9 +91,13 @@ func Optimize(times map[platform.MemorySize]float64, pricing platform.Pricer, tr
 	return Recommendation{Tradeoff: tradeoff, Options: opts, Best: opts[best].Memory}, nil
 }
 
-// Rank returns the 1-based rank of `selected` in the ground-truth S_total
-// ordering computed from measured times: 1 means the selection is the true
-// optimum, 2 the second best, and so on (the x-axis of paper Fig. 7).
+// Rank returns the 1-based competition rank of `selected` in the
+// ground-truth S_total ordering computed from measured times: 1 means the
+// selection scores as well as the true optimum, 2 the next-best score, and
+// so on (the x-axis of paper Fig. 7). Sizes with equal S_total share the
+// best rank of their group ("1-2-2-4" ranking), so a selection tied with
+// the optimum ranks 1 regardless of which size Optimize broke the tie to —
+// an ordinal rank would charge the selector for a coin flip it cannot win.
 func Rank(selected platform.MemorySize, measured map[platform.MemorySize]float64, pricing platform.Pricer, tradeoff float64) (int, error) {
 	rec, err := Optimize(measured, pricing, tradeoff)
 	if err != nil {
@@ -101,9 +105,13 @@ func Rank(selected platform.MemorySize, measured map[platform.MemorySize]float64
 	}
 	ordered := append([]Option(nil), rec.Options...)
 	sort.SliceStable(ordered, func(i, j int) bool { return ordered[i].STotal < ordered[j].STotal })
+	rank := 0
 	for i, o := range ordered {
+		if i == 0 || o.STotal > ordered[i-1].STotal {
+			rank = i + 1
+		}
 		if o.Memory == selected {
-			return i + 1, nil
+			return rank, nil
 		}
 	}
 	return 0, fmt.Errorf("optimizer: selected size %v not among measured sizes", selected)

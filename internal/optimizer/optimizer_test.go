@@ -149,6 +149,59 @@ func TestRank(t *testing.T) {
 	}
 }
 
+// TestOptimizeTiesPreferSmallerMemory pins the documented tie rule: when
+// several sizes share the minimal S_total, Optimize selects the smallest.
+// t = 0 on a flat (network-bound) function ties every size at S_total = 1
+// exactly — pure performance scoring of identical times.
+func TestOptimizeTiesPreferSmallerMemory(t *testing.T) {
+	rec, err := Optimize(flatTimes(), platform.DefaultPricing(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range rec.Options {
+		if o.STotal != 1 {
+			t.Fatalf("S_total(%v) = %v, want an exact all-way tie at 1", o.Memory, o.STotal)
+		}
+	}
+	if rec.Best != platform.Mem128 {
+		t.Errorf("all-way tie selected %v, want the smallest size 128MB", rec.Best)
+	}
+}
+
+// TestRankCompetitionTies: sizes with equal S_total share the best rank of
+// their group. t = 0 makes S_total a pure function of time, so the times
+// 100/200/200/400 score 1/2/2/4 exactly — ranks must be 1, 2, 2, 4.
+func TestRankCompetitionTies(t *testing.T) {
+	pricing := platform.DefaultPricing()
+	measured := map[platform.MemorySize]float64{
+		128:  100,
+		256:  200,
+		512:  200,
+		1024: 400,
+	}
+	want := map[platform.MemorySize]int{128: 1, 256: 2, 512: 2, 1024: 4}
+	for m, wantRank := range want {
+		r, err := Rank(m, measured, pricing, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r != wantRank {
+			t.Errorf("Rank(%v) = %d, want %d", m, r, wantRank)
+		}
+	}
+	// An all-way tie ranks every size 1: no selection is charged for a
+	// tie-break it could not influence.
+	for _, m := range platform.StandardSizes() {
+		r, err := Rank(m, flatTimes(), pricing, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r != 1 {
+			t.Errorf("all-way tie: Rank(%v) = %d, want 1", m, r)
+		}
+	}
+}
+
 func TestBenefits(t *testing.T) {
 	pricing := platform.DefaultPricing()
 	measured := map[platform.MemorySize]float64{

@@ -6,6 +6,7 @@ import (
 	"reflect"
 	"sort"
 	"sync"
+	"time"
 
 	"sizeless/internal/monitoring"
 )
@@ -69,19 +70,73 @@ type shardQueue struct {
 	pending  int   // jobs queued or in flight
 	bytes    int64 // bytes queued or in flight
 	maxBytes int64
+
+	// drainPerJob is an EWMA of the observed per-job service time (the
+	// drainer's Ingest wall time, which excludes idle gaps between jobs).
+	// Zero until the first job completes; the Retry-After hint falls back
+	// to the configured fixed value until then.
+	drainPerJob time.Duration
 }
 
 func newShardQueue(depth int, maxBytes int64) *shardQueue {
 	return &shardQueue{jobs: make(chan job, depth), maxBytes: maxBytes}
 }
 
-// release returns a processed job's budget. Called by the drainer after
+// release returns a processed job's budget and folds the job's service
+// time into the shard's drain-rate estimate. Called by the drainer after
 // Service.Ingest returns, never while the window is still referenced.
-func (q *shardQueue) release(j job) {
+func (q *shardQueue) release(j job, took time.Duration) {
 	q.mu.Lock()
 	q.pending--
 	q.bytes -= j.bytes
+	q.observeDrainLocked(took)
 	q.mu.Unlock()
+}
+
+// observeDrainLocked updates the per-job drain-time EWMA (α = 1/4: heavy
+// enough to track load shifts, light enough to ride out one slow window).
+// Callers hold q.mu.
+func (q *shardQueue) observeDrainLocked(took time.Duration) {
+	if took < 0 {
+		took = 0
+	}
+	if q.drainPerJob == 0 {
+		q.drainPerJob = took
+		return
+	}
+	q.drainPerJob = (3*q.drainPerJob + took) / 4
+}
+
+// Bounds for the adaptive Retry-After hint: never tell a client to come
+// back sooner than the header's 1s resolution, never park it longer than
+// a minute no matter how deep the backlog looks.
+const (
+	minRetryAfter = time.Second
+	maxRetryAfter = time.Minute
+)
+
+// retryAfter estimates how long a rejected client should back off: the
+// time for the shard's current backlog to drain at the observed per-job
+// rate, clamped to [minRetryAfter, maxRetryAfter]. As the drainers work
+// the queue down, pending shrinks and so does the advertised delay.
+// Returns 0 when the shard has no drain history yet; the caller falls
+// back to the configured fixed hint.
+func (q *shardQueue) retryAfter() time.Duration {
+	q.mu.Lock()
+	per := q.drainPerJob
+	pending := q.pending
+	q.mu.Unlock()
+	if per <= 0 {
+		return 0
+	}
+	d := time.Duration(pending) * per
+	if d < minRetryAfter {
+		d = minRetryAfter
+	}
+	if d > maxRetryAfter {
+		d = maxRetryAfter
+	}
+	return d
 }
 
 // enqueueBatch admits a request's jobs all-or-nothing across the touched

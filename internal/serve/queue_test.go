@@ -1,10 +1,15 @@
 package serve
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
+	"net/http"
+	"net/http/httptest"
 	"testing"
+	"time"
 
+	"sizeless"
 	"sizeless/internal/fleetsynth"
 	"sizeless/internal/monitoring"
 	"sizeless/internal/xrand"
@@ -65,7 +70,7 @@ func TestQueueDepthBound(t *testing.T) {
 
 	// release returns the budget and admission resumes.
 	j := <-srv.queues[5].jobs
-	srv.queues[5].release(j)
+	srv.queues[5].release(j, 0)
 	srv.inflight.Done()
 	if err := srv.enqueueBatch([]job{newJob(ids[2], invs)}); err != nil {
 		t.Fatalf("enqueue after release: %v", err)
@@ -119,6 +124,97 @@ func TestEnqueueBatchAllOrNothing(t *testing.T) {
 		if pending != 0 {
 			t.Errorf("shard %d holds %d jobs after an all-or-nothing rejection", si, pending)
 		}
+	}
+}
+
+// TestRetryAfterShrinksAsQueueDrains: the 429 Retry-After hint is derived
+// from the rejecting shard's observed drain rate — pending × per-job EWMA,
+// rounded up to whole seconds — so the advertised delay shrinks as the
+// drainers work the backlog down. Before any job has completed, the
+// configured fixed hint applies. The daemon is un-Run (no drainers), so
+// the test plays the drainer by popping jobs and releasing them with a
+// synthetic service time.
+func TestRetryAfterShrinksAsQueueDrains(t *testing.T) {
+	srv := newQueueServer(t, Config{
+		ServiceOptions: []sizeless.Option{sizeless.WithShards(1)},
+		QueueDepth:     4,
+		RetryAfter:     7 * time.Second,
+	})
+	ts := httptest.NewServer(srv.mux)
+	defer ts.Close()
+	q := srv.queues[0]
+	ids := fnOnShard(t, srv, 0, 9)
+	invs := window(10)
+
+	// reject posts an over-capacity request and returns its Retry-After.
+	reject := func(fns []string) string {
+		t.Helper()
+		windows := map[string][]monitoring.Invocation{}
+		for _, fn := range fns {
+			windows[fn] = invs
+		}
+		resp, err := http.Post(ts.URL+"/v1/ingest", "application/json",
+			bytes.NewReader(mustMarshal(t, IngestRequest{Windows: windows})))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusTooManyRequests {
+			t.Fatalf("ingest = %d, want 429", resp.StatusCode)
+		}
+		return resp.Header.Get("Retry-After")
+	}
+	// drain plays the shard drainer: pop n jobs, each observed at took.
+	drain := func(n int, took time.Duration) {
+		for i := 0; i < n; i++ {
+			j := <-q.jobs
+			q.release(j, took)
+			srv.inflight.Done()
+		}
+	}
+
+	// Fill the depth-4 queue; with no drain history the rejection falls
+	// back to the configured fixed hint.
+	jobs := make([]job, 4)
+	for i := range jobs {
+		jobs[i] = newJob(ids[i], invs)
+	}
+	if err := srv.enqueueBatch(jobs); err != nil {
+		t.Fatal(err)
+	}
+	if got := reject(ids[4:5]); got != "7" {
+		t.Errorf("Retry-After with no drain history = %q, want configured \"7\"", got)
+	}
+
+	// One job drains at 2s: 3 pending × 2s → 6s, below the fallback.
+	drain(1, 2*time.Second)
+	if got := reject(ids[4:6]); got != "6" {
+		t.Errorf("Retry-After at 3 pending × 2s = %q, want \"6\"", got)
+	}
+
+	// Two more drain: 1 pending × 2s → 2s. The hint shrank with the queue.
+	drain(2, 2*time.Second)
+	if got := reject(ids[4:8]); got != "2" {
+		t.Errorf("Retry-After at 1 pending × 2s = %q, want \"2\"", got)
+	}
+}
+
+// TestRetryAfterClamps: the adaptive hint never drops below the header's
+// 1s resolution and never parks a client longer than a minute; a shard
+// with no history reports zero so the caller can fall back.
+func TestRetryAfterClamps(t *testing.T) {
+	q := newShardQueue(8, 1<<20)
+	if got := q.retryAfter(); got != 0 {
+		t.Errorf("retryAfter with no history = %v, want 0", got)
+	}
+	q.pending = 2
+	q.observeDrainLocked(50 * time.Millisecond)
+	if got := q.retryAfter(); got != time.Second {
+		t.Errorf("retryAfter below resolution = %v, want clamped to 1s", got)
+	}
+	q.drainPerJob = time.Hour
+	if got := q.retryAfter(); got != time.Minute {
+		t.Errorf("retryAfter on a stalled shard = %v, want capped at 1m", got)
 	}
 }
 

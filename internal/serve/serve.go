@@ -63,7 +63,11 @@ type Config struct {
 	// plus in flight (default 4 MiB).
 	QueueBytes int64
 	// RetryAfter is the client back-off hint sent with 429 responses
-	// (default 1s).
+	// while the rejecting shard has no drain history (default 1s). Once
+	// the shard's drainer has completed at least one job, the hint is
+	// derived from the observed per-job drain rate and the shard's
+	// current backlog instead, clamped to [1s, 1m], so the advertised
+	// delay shrinks as the queue drains.
 	RetryAfter time.Duration
 	// MaxBodyBytes caps a single request body (default 32 MiB).
 	MaxBodyBytes int64
@@ -357,8 +361,9 @@ func (s *Server) sweepQueues(ctx context.Context) {
 // Per-function ingest errors are recorded, not fatal: one function's bad
 // window must not stall its shard.
 func (s *Server) process(ctx context.Context, q *shardQueue, j job) {
+	start := time.Now()
 	_, err := s.svc.Ingest(ctx, j.fn, j.invs)
-	q.release(j)
+	q.release(j, time.Since(start))
 	if err != nil {
 		s.ingestErrors.Add(1)
 		s.recordError(err)
@@ -408,7 +413,11 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		var full *QueueFullError
 		switch {
 		case errors.As(err, &full):
-			w.Header().Set("Retry-After", strconv.Itoa(int((s.cfg.RetryAfter+time.Second-1)/time.Second)))
+			delay := s.queues[full.Shard].retryAfter()
+			if delay <= 0 {
+				delay = s.cfg.RetryAfter
+			}
+			w.Header().Set("Retry-After", strconv.Itoa(int((delay+time.Second-1)/time.Second)))
 			writeError(w, http.StatusTooManyRequests, err.Error())
 		case errors.Is(err, ErrBatchTooLarge):
 			writeError(w, http.StatusRequestEntityTooLarge, err.Error())
